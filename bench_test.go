@@ -1,0 +1,433 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus micro-benchmarks
+// of the diagnosis machinery. Shapes, not absolute numbers, are the
+// comparison target; EXPERIMENTS.md records paper-vs-measured values.
+package diads_test
+
+import (
+	"fmt"
+	"testing"
+
+	"diads"
+	"diads/internal/apg"
+	"diads/internal/baseline"
+	"diads/internal/diag"
+	"diads/internal/experiments"
+	"diads/internal/kde"
+	"diads/internal/simtime"
+	"diads/internal/testbed"
+)
+
+const benchSeed = 4242
+
+// benchScenario caches one simulated scenario per ID across iterations;
+// construction dominates otherwise.
+var benchScenarios = map[diads.ScenarioID]*diads.Scenario{}
+
+func scenarioFor(b *testing.B, id diads.ScenarioID) *diads.Scenario {
+	b.Helper()
+	if sc, ok := benchScenarios[id]; ok {
+		return sc
+	}
+	sc, err := diads.BuildScenario(id, benchSeed+int64(id))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchScenarios[id] = sc
+	return sc
+}
+
+// BenchmarkTable1_Scenario1 through _Scenario5 regenerate Table 1: each
+// iteration diagnoses the scenario end to end and verifies the outcome.
+func BenchmarkTable1_Scenario1(b *testing.B) { benchScenarioDiagnosis(b, diads.ScenarioSANMisconfig) }
+func BenchmarkTable1_Scenario2(b *testing.B) { benchScenarioDiagnosis(b, diads.ScenarioTwoPools) }
+func BenchmarkTable1_Scenario3(b *testing.B) { benchScenarioDiagnosis(b, diads.ScenarioDataProperty) }
+func BenchmarkTable1_Scenario4(b *testing.B) {
+	benchScenarioDiagnosis(b, diads.ScenarioConcurrentFaults)
+}
+func BenchmarkTable1_Scenario5(b *testing.B) { benchScenarioDiagnosis(b, diads.ScenarioLockingNoise) }
+
+func benchScenarioDiagnosis(b *testing.B, id diads.ScenarioID) {
+	sc := scenarioFor(b, id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, correct, err := sc.Diagnose()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !correct {
+			top, _ := res.TopCause()
+			b.Fatalf("scenario %d misdiagnosed: %v", id, top.Cause)
+		}
+	}
+}
+
+// BenchmarkTable2_AnomalyScores regenerates Table 2 (prints it once).
+func BenchmarkTable2_AnomalyScores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Render())
+		}
+	}
+}
+
+// BenchmarkFigure1_APG regenerates the Figure 1 APG: construction from
+// plan, catalog, and SAN configuration.
+func BenchmarkFigure1_APG(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	run := sc.Testbed.Runs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := diads.BuildAPG(sc.Testbed, run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Plan.NumOperators() != 25 || len(g.Plan.Leaves()) != 9 {
+			b.Fatalf("Figure 1 shape broken")
+		}
+	}
+}
+
+// BenchmarkFigure2_Workflow times the full batch workflow of Figure 2 on
+// the prepared scenario-1 input.
+func BenchmarkFigure2_Workflow(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diads.Diagnose(sc.Input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3_QueryScreen renders the query-selection screen.
+func BenchmarkFigure3_QueryScreen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows == 0 {
+			b.Fatal("empty screen")
+		}
+	}
+}
+
+// BenchmarkFigure4_MetricCatalog enumerates the Figure 4 catalog.
+func BenchmarkFigure4_MetricCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure4()
+		if len(res.Catalog) != 4 {
+			b.Fatal("catalog layers wrong")
+		}
+	}
+}
+
+// BenchmarkFigure6_APGScreen renders the APG visualization screen.
+func BenchmarkFigure6_APGScreen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7_WorkflowScreen renders the interactive workflow screen.
+func BenchmarkFigure7_WorkflowScreen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKDE_SampleEfficiency reproduces the Section 5 observation
+// (KDE vs model-based correlation, accuracy vs sample count and noise).
+func BenchmarkKDE_SampleEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.KDERobustness(benchSeed)
+		if i == 0 {
+			b.Logf("\n%s", res.Render())
+		}
+	}
+}
+
+// BenchmarkBaseline_Comparison reproduces the silo-tool narrative.
+func BenchmarkBaseline_Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Baselines(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DIADSCorrect {
+			b.Fatal("DIADS misdiagnosed the comparison scenario")
+		}
+	}
+}
+
+// BenchmarkModulePD_PlanDiff regenerates the plan-regression experiment.
+func BenchmarkModulePD_PlanDiff(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioPlanRegression)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := diads.Diagnose(sc.Input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PD.Changed {
+			b.Fatal("plan change missed")
+		}
+	}
+}
+
+// BenchmarkAblation_NoSymptomsDB measures diagnosis without the symptoms
+// database (the incomplete-knowledge observation).
+func BenchmarkAblation_NoSymptomsDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IncompleteSymptomsDB(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.NarrowedOperators) == 0 {
+			b.Fatal("no narrowing")
+		}
+	}
+}
+
+// BenchmarkAblation_ThresholdSweep measures the workflow ablations.
+func BenchmarkAblation_ThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtension_WhatIf measures the what-if study (E19).
+func BenchmarkExtension_WhatIf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WhatIf(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Render())
+		}
+	}
+}
+
+// BenchmarkExtension_SelfHeal measures the self-healing study (E20).
+func BenchmarkExtension_SelfHeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SelfHeal(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Recovered {
+			b.Fatal("self-heal did not recover")
+		}
+	}
+}
+
+// --- micro-benchmarks of the core machinery ---
+
+// BenchmarkMicro_KDEScore times one anomaly-score computation at the
+// workload sizes the workflow uses (tens of samples).
+func BenchmarkMicro_KDEScore(b *testing.B) {
+	rnd := simtime.NewRand(1, "bench-kde")
+	sat := make([]float64, 30)
+	for i := range sat {
+		sat[i] = rnd.Gaussian(10, 1)
+	}
+	unsat := []float64{31, 29, 33}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kde.AnomalyScore(sat, unsat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_GaussianScore times the baseline scorer for comparison.
+func BenchmarkMicro_GaussianScore(b *testing.B) {
+	rnd := simtime.NewRand(1, "bench-gauss")
+	sat := make([]float64, 30)
+	for i := range sat {
+		sat[i] = rnd.Gaussian(10, 1)
+	}
+	unsat := []float64{31, 29, 33}
+	s := baseline.GaussianScorer{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Score(sat, unsat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_TestbedSimulation times one full-day testbed simulation
+// (48 query runs plus monitoring emission).
+func BenchmarkMicro_TestbedSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := diads.NewTestbed(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_ModuleCO times Module CO alone.
+func BenchmarkMicro_ModuleCO(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	w, err := diads.NewWorkflow(sc.Input)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.RunPD(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunCO(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_ModuleDA times Module DA alone.
+func BenchmarkMicro_ModuleDA(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	w, err := diads.NewWorkflow(sc.Input)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.RunPD(); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.RunCO(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunDA(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_APGDependencyPaths times dependency-path computation for
+// every operator of the Q2 plan.
+func BenchmarkMicro_APGDependencyPaths(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	run := sc.Testbed.Runs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := apg.Build(run.Plan, sc.Testbed.Cfg, sc.Testbed.Cat, testbed.ServerDB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range run.Plan.Nodes() {
+			if dp := g.DependencyPath(n.ID); len(dp.Inner) == 0 {
+				b.Fatal("empty dependency path")
+			}
+		}
+	}
+}
+
+// BenchmarkMicro_SymptomEvaluation times one symptoms-database evaluation.
+func BenchmarkMicro_SymptomEvaluation(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := diads.BuiltinSymptomsDB()
+	bindings := diag.Bindings(sc.Input, res.APG)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		causes := db.Evaluate(res.Facts, bindings)
+		if len(causes) == 0 {
+			b.Fatal("no causes")
+		}
+	}
+}
+
+// BenchmarkMicro_QueryExecution times one simulated Q2 execution.
+func BenchmarkMicro_QueryExecution(b *testing.B) {
+	tb, err := diads.NewTestbed(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tb.Opt.PlanQuery("Q2", tb.Stats, tb.Params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Engine.Run(p, simtime.Time(i*1800), fmt.Sprintf("b-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtension_Placement measures the integrated-planning extension
+// ranking pools for partsupp.
+func BenchmarkExtension_Placement(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	run := sc.Input.SatRuns()[0]
+	p := &diads.PlacementPlanner{
+		Cfg: sc.Testbed.Cfg, SAN: sc.Testbed.SAN, Cat: sc.Testbed.Cat,
+		Baseline: run, At: run.Start,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Rank("partsupp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtension_SymptomMining measures the self-evolving database
+// proposing entries from three confirmed incidents.
+func BenchmarkExtension_SymptomMining(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc, err := res.ToIncident("san-misconfig-contention", "vol-V1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m diads.SymptomMiner
+		m.AddIncident(inc)
+		m.AddIncident(inc)
+		m.AddIncident(inc)
+		if cands := m.Propose(3); len(cands) == 0 {
+			b.Fatal("no candidates mined")
+		}
+	}
+}
+
+// BenchmarkRobustness_SeedSweep measures multi-seed scenario accuracy
+// (the aggregate study in EXPERIMENTS.md).
+func BenchmarkRobustness_SeedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SeedRobustness(benchSeed, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MinAccuracy() < 0.5 {
+			b.Fatal("diagnosis unstable")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command diads is the DIADS console: it builds a scenario on the
+// simulated Figure 1 testbed and renders the tool's screens — the
+// query-selection table (Figure 3), the APG visualization (Figure 6), the
+// diagnosis workflow (Figure 7), and the final report.
+//
+// Usage:
+//
+//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|report|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diads/internal/console"
+	"diads/internal/diag"
+	"diads/internal/experiments"
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+	"diads/internal/testbed"
+)
+
+func main() {
+	scenario := flag.Int("scenario", 1, "scenario number (1-9, see DESIGN.md)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|report|all")
+	component := flag.String("component", string(testbed.VolV1), "component for the APG metric panel")
+	flag.Parse()
+
+	if err := run(experiments.ScenarioID(*scenario), *seed, *screen, *component); err != nil {
+		fmt.Fprintln(os.Stderr, "diads:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id experiments.ScenarioID, seed int64, screen, component string) error {
+	sc, err := experiments.Build(id, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %d: %s\n%s\n\n", sc.ID, sc.Title, sc.Description)
+
+	w, err := diag.NewWorkflow(sc.Input)
+	if err != nil {
+		return err
+	}
+	res, err := w.Run()
+	if err != nil {
+		return err
+	}
+
+	show := func(name string) bool { return screen == name || screen == "all" }
+
+	if show("query") {
+		fmt.Println(console.QueryScreen(sc.Input.Runs, sc.Input.Satisfactory))
+	}
+	if show("apg") && res.APG != nil {
+		unsat := sc.Input.UnsatRuns()
+		if len(unsat) > 0 {
+			var windows []simtime.Interval
+			for _, r := range unsat {
+				windows = append(windows, simtime.NewInterval(
+					r.Start.Add(-metrics.DefaultMonitorInterval),
+					r.Stop.Add(metrics.DefaultMonitorInterval)))
+			}
+			fmt.Println(console.APGScreen(res.APG, sc.Input.Store, unsat[0], component, windows))
+		}
+	}
+	if show("workflow") {
+		fmt.Println(console.WorkflowScreen(w))
+	}
+	if show("report") {
+		fmt.Println(res.Render())
+	}
+	return nil
+}

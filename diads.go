@@ -1,0 +1,132 @@
+// Package diads is an open-source reproduction of "Why Did My Query Slow
+// Down?" (Borisov, Babu, Uttamchandani, Routray, Singh — CIDR 2009): an
+// integrated database + SAN diagnosis tool built around two ideas.
+//
+// The Annotated Plan Graph (APG) ties every operator of a query's
+// execution plan through its tablespace to the SAN volume it reads, and on
+// through the fabric to pools and physical disks, annotating each
+// component with the monitoring data collected during the plan's
+// execution.
+//
+// The diagnosis workflow drills down from the query to plans (Module PD),
+// operators (Module CO), components (Module DA), and record counts
+// (Module CR), maps symptoms to root causes through a weighted
+// symptoms database (Module SD), and rolls back up with impact analysis
+// (Module IA).
+//
+// Because the paper's testbed (PostgreSQL on a production IBM SAN) is not
+// reproducible on a laptop, the library ships a faithful simulation
+// substrate: a SAN configuration and performance model, a cost-based
+// query engine over a TPC-H catalog, a noisy monitoring pipeline, and a
+// fault injector covering the paper's scenario menu.
+//
+// Quickstart:
+//
+//	sc, _ := diads.BuildScenario(diads.ScenarioSANMisconfig, 42)
+//	res, _ := diads.Diagnose(sc.Input)
+//	fmt.Println(res.Render())
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package diads
+
+import (
+	"diads/internal/apg"
+	"diads/internal/diag"
+	"diads/internal/exec"
+	"diads/internal/experiments"
+	"diads/internal/placement"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/whatif"
+)
+
+// Core diagnosis types.
+type (
+	// Input is everything a diagnosis consumes: labeled runs, the
+	// monitoring store, and configuration state.
+	Input = diag.Input
+	// Result is a complete diagnosis.
+	Result = diag.Result
+	// Workflow runs modules one at a time (the interactive mode).
+	Workflow = diag.Workflow
+	// APG is the Annotated Plan Graph.
+	APG = apg.APG
+	// RunRecord is the monitoring record of one query run.
+	RunRecord = exec.RunRecord
+	// Testbed is the simulated database+SAN environment.
+	Testbed = testbed.Testbed
+	// TestbedConfig tunes testbed construction.
+	TestbedConfig = testbed.Config
+	// SymptomsDB is the root-cause knowledge base.
+	SymptomsDB = symptoms.DB
+	// CauseInstance is one evaluated root-cause hypothesis.
+	CauseInstance = symptoms.CauseInstance
+	// Scenario is a constructed, simulated, labeled problem scenario.
+	Scenario = experiments.Scenario
+	// ScenarioID selects a scenario.
+	ScenarioID = experiments.ScenarioID
+	// WhatIfAnalyzer answers what-if questions (Section 7 extension).
+	WhatIfAnalyzer = whatif.Analyzer
+	// PlacementPlanner ranks tablespace placements (Section 7 extension).
+	PlacementPlanner = placement.Planner
+	// SymptomMiner proposes codebook entries from confirmed incidents
+	// (Section 7's self-evolving symptoms database).
+	SymptomMiner = symptoms.Miner
+)
+
+// Scenario identifiers: the paper's five Table 1 settings plus the
+// extension scenarios.
+const (
+	ScenarioSANMisconfig     = experiments.S1SANMisconfig
+	ScenarioTwoPools         = experiments.S2TwoPoolContention
+	ScenarioDataProperty     = experiments.S3DataPropertyChange
+	ScenarioConcurrentFaults = experiments.S4ConcurrentDBAndSAN
+	ScenarioLockingNoise     = experiments.S5LockingWithNoise
+	ScenarioPlanRegression   = experiments.SPlanRegression
+	ScenarioCPUSaturation    = experiments.SCPUSaturation
+	ScenarioDiskFailure      = experiments.SDiskFailure
+	ScenarioRAIDRebuild      = experiments.SRAIDRebuild
+)
+
+// NewTestbed builds the paper's Figure 1 environment with default
+// configuration: the TPC-H database on volumes V1/V2 behind an FC fabric,
+// Q2 scheduled every 30 minutes.
+func NewTestbed(seed int64) (*Testbed, error) {
+	return testbed.NewFigure1(testbed.DefaultConfig(seed))
+}
+
+// NewTestbedWithConfig builds the Figure 1 environment with custom
+// configuration.
+func NewTestbedWithConfig(conf TestbedConfig) (*Testbed, error) {
+	return testbed.NewFigure1(conf)
+}
+
+// BuildScenario constructs, simulates, and labels one of the canonical
+// problem scenarios.
+func BuildScenario(id ScenarioID, seed int64) (*Scenario, error) {
+	return experiments.Build(id, seed)
+}
+
+// Diagnose runs the full batch workflow of Figure 2.
+func Diagnose(in *Input) (*Result, error) {
+	return diag.Diagnose(in)
+}
+
+// NewWorkflow prepares an interactive workflow over the input.
+func NewWorkflow(in *Input) (*Workflow, error) {
+	return diag.NewWorkflow(in)
+}
+
+// BuildAPG constructs the Annotated Plan Graph for a run's plan in the
+// testbed's environment.
+func BuildAPG(tb *Testbed, run *RunRecord) (*APG, error) {
+	return apg.Build(run.Plan, tb.Cfg, tb.Cat, testbed.ServerDB)
+}
+
+// BuiltinSymptomsDB returns the in-house symptoms database for query
+// slowdowns.
+func BuiltinSymptomsDB() *SymptomsDB { return symptoms.Builtin() }
+
+// ParseSymptomsDB reads a symptoms database from the administrator-
+// editable text format.
+func ParseSymptomsDB(src string) (*SymptomsDB, error) { return symptoms.Parse(src) }

@@ -1,0 +1,98 @@
+package diads_test
+
+import (
+	"strings"
+	"testing"
+
+	"diads"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sc, err := diads.BuildScenario(diads.ScenarioSANMisconfig, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := res.TopCause()
+	if !ok {
+		t.Fatal("no cause")
+	}
+	if top.Cause.Kind != "san-misconfig-contention" {
+		t.Fatalf("quickstart should find the misconfiguration, got %v", top.Cause)
+	}
+	if top.Cause.Fix == "" {
+		t.Fatalf("cause should carry its fix")
+	}
+	if !strings.Contains(res.Render(), "DIADS diagnosis") {
+		t.Fatalf("report missing header")
+	}
+}
+
+func TestFacadeTestbedAndAPG(t *testing.T) {
+	tb, err := diads.NewTestbed(301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	if len(runs) != 48 {
+		t.Fatalf("default schedule should run 48 times, got %d", len(runs))
+	}
+	g, err := diads.BuildAPG(tb, runs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Plan.NumOperators() != 25 {
+		t.Fatalf("APG shape wrong")
+	}
+}
+
+func TestFacadeSymptomsDBRoundTrip(t *testing.T) {
+	db := diads.BuiltinSymptomsDB()
+	if len(db.Entries()) == 0 {
+		t.Fatal("builtin DB empty")
+	}
+	custom, err := diads.ParseSymptomsDB(`
+cause my-cause scope=global {
+  100: exists(plan-changed)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom.Entries()) != 1 || custom.Entries()[0].Kind != "my-cause" {
+		t.Fatalf("parsed DB wrong: %+v", custom.Entries())
+	}
+	if _, err := diads.ParseSymptomsDB("garbage"); err == nil {
+		t.Fatalf("bad DSL should error")
+	}
+}
+
+func TestFacadeInteractiveWorkflow(t *testing.T) {
+	sc, err := diads.BuildScenario(diads.ScenarioLockingNoise, 302)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := diads.NewWorkflow(sc.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunPD(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Res.PD.Changed {
+		t.Fatalf("locking scenario should not change the plan")
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	top, ok := w.Res.TopCause()
+	if !ok || top.Cause.Kind != "lock-contention" {
+		t.Fatalf("locking scenario diagnosis: %v", top.Cause)
+	}
+}

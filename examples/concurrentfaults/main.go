@@ -1,0 +1,44 @@
+// Concurrent faults: the paper's scenario 4 — a data-property change in
+// the database at the same time as a SAN misconfiguration. DIADS must
+// identify both problems and rank them, which no silo tool can do.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diads"
+	"diads/internal/baseline"
+)
+
+func main() {
+	sc, err := diads.BuildScenario(diads.ScenarioConcurrentFaults, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s\n%s\n\n", sc.Title, sc.Description)
+
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DIADS ranking (both problems should appear with high confidence):")
+	for _, item := range res.IA.Items {
+		fmt.Printf("  %-58s impact %5.1f%%\n", item.Cause.String(), item.Score)
+	}
+
+	// Contrast with the silo tools on the same evidence.
+	fmt.Println()
+	san, err := baseline.SANOnly(sc.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(san)
+	db, err := baseline.DBOnly(sc.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(db)
+	fmt.Println("note how neither silo tool can connect the record-count change")
+	fmt.Println("to the SAN symptoms or separate the two concurrent causes.")
+}

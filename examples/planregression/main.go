@@ -1,0 +1,46 @@
+// Plan regression: an index is dropped between runs, the optimizer falls
+// back to scans, and Module PD detects the plan change and pinpoints the
+// cause by replaying candidate changes through the optimizer — then the
+// self-healing extension recreates the index and verifies recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diads"
+	"diads/internal/experiments"
+)
+
+func main() {
+	sc, err := diads.BuildScenario(diads.ScenarioPlanRegression, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s\n\n", sc.Title)
+
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Module PD: plan changed = %v\n", res.PD.Changed)
+	for _, d := range res.PD.Differences {
+		fmt.Printf("  difference: %s\n", d)
+	}
+	fmt.Println("plan-change analysis (replaying candidate changes):")
+	for _, c := range res.PD.Causes {
+		marker := "  "
+		if c.Explains {
+			marker = "->"
+		}
+		fmt.Printf("%s %s %s: %s\n", marker, c.Event.T.Clock(), c.Event.Kind, c.Detail)
+	}
+
+	// Self-healing: recreate the index and verify the recovery.
+	heal, err := experiments.SelfHeal(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(heal.Render())
+}

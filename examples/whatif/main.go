@@ -1,0 +1,51 @@
+// What-if analysis (Section 7 extension): before placing a new workload
+// or changing configuration, predict the impact on the report query using
+// the same models the diagnosis runs on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diads"
+	"diads/internal/dbsys"
+	"diads/internal/testbed"
+	"diads/internal/whatif"
+)
+
+func main() {
+	// A healthy testbed: no faults, just the periodic query.
+	tb, err := diads.NewTestbed(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.Simulate(); err != nil {
+		log.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	baselineRun := runs[len(runs)/2]
+	fmt.Printf("baseline Q2 duration: %s\n\n", baselineRun.Duration())
+
+	an := &whatif.Analyzer{
+		Cfg: tb.Cfg, SAN: tb.SAN, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats,
+		Baseline: baselineRun, At: baselineRun.Start,
+	}
+
+	fmt.Println("planned changes and their predicted impact on Q2:")
+	for _, q := range []func() (whatif.Prediction, error){
+		func() (whatif.Prediction, error) { return an.AddWorkload(testbed.VolV3, 450, 120) },
+		func() (whatif.Prediction, error) { return an.AddWorkload(testbed.VolV4, 450, 120) },
+		func() (whatif.Prediction, error) { return an.MoveVolume(testbed.VolV3, testbed.PoolP2) },
+		func() (whatif.Prediction, error) { return an.GrowTable(dbsys.TPartsupp, 2.0) },
+		func() (whatif.Prediction, error) { return an.ChangeParam(dbsys.ParamEnableIndexScan, 0) },
+	} {
+		pred, err := q()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", pred)
+	}
+	fmt.Println("\nplacing the workload on P1 hurts the query; P2 has more spindles")
+	fmt.Println("and no partsupp data, so the same workload is far cheaper there.")
+}

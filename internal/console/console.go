@@ -1,0 +1,161 @@
+// Package console renders DIADS's user interface as deterministic text
+// screens: the query-selection table (Figure 3), the APG visualization
+// with per-component time-series (Figure 6), and the interactive workflow
+// screen (Figure 7). The paper's prototype drew these as a Java GUI; the
+// content and columns are preserved.
+package console
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diads/internal/apg"
+	"diads/internal/diag"
+	"diads/internal/exec"
+	"diads/internal/metrics"
+	"diads/internal/plan"
+	"diads/internal/simtime"
+)
+
+// QueryScreen renders the query-selection screen (Figure 3): one row per
+// query execution with its plan, start/end times, duration, and the
+// administrator's unsatisfactory mark.
+func QueryScreen(runs []*exec.RunRecord, satisfactory map[string]bool) string {
+	ordered := make([]*exec.RunRecord, len(runs))
+	copy(ordered, runs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+
+	var b strings.Builder
+	b.WriteString("DIADS — Query Selection\n")
+	fmt.Fprintf(&b, "%-14s %-6s %-10s %-12s %-12s %-10s %-6s\n",
+		"Run", "Query", "Plan", "Start time", "End time", "Duration", "Unsat")
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	for _, r := range ordered {
+		mark := "[ ]"
+		if sat, ok := satisfactory[r.RunID]; ok && !sat {
+			mark = "[x]"
+		}
+		fmt.Fprintf(&b, "%-14s %-6s %-10s %-12s %-12s %-10s %-6s\n",
+			r.RunID, r.Query, r.PlanSig[:8], r.Start.Clock(), r.Stop.Clock(),
+			r.Duration().String(), mark)
+	}
+	b.WriteString("\n[APG] view annotated plan graph    [Workflow] invoke diagnosis workflow\n")
+	return b.String()
+}
+
+// APGScreen renders the APG visualization screen (Figure 6): the APG
+// structure as a tree on the left, and the time-series performance
+// metrics of one selected component on the right, with each measurement's
+// unsatisfactory categorization.
+func APGScreen(g *apg.APG, store *metrics.Store, run *exec.RunRecord, component string, unsatWindows []simtime.Interval) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIADS — APG Visualization (run %s)\n\n", run.RunID)
+	b.WriteString(g.Render())
+
+	fmt.Fprintf(&b, "\nPerformance metrics for component %q:\n", component)
+	ms := store.MetricsFor(component)
+	if len(ms) == 0 {
+		b.WriteString("  (no metrics recorded)\n")
+		return b.String()
+	}
+	pad := metrics.DefaultMonitorInterval
+	win := simtime.NewInterval(run.Start.Add(-2*pad), run.Stop.Add(2*pad))
+	fmt.Fprintf(&b, "%-12s %-32s %12s  %-6s\n", "Time", "Metric", "Value", "Unsat")
+	b.WriteString(strings.Repeat("-", 68) + "\n")
+	for _, m := range ms {
+		for _, s := range store.Window(component, m, win) {
+			mark := "[ ]"
+			for _, uw := range unsatWindows {
+				if uw.Contains(s.T) {
+					mark = "[x]"
+				}
+			}
+			fmt.Fprintf(&b, "%-12s %-32s %12.3f  %s\n", s.T.Clock(), m, s.V, mark)
+		}
+	}
+	return b.String()
+}
+
+// WorkflowScreen renders the interactive workflow screen (Figure 7): the
+// module buttons across the top — executed modules enabled, pending ones
+// disabled — and the result panel of the last executed module.
+func WorkflowScreen(w *diag.Workflow) string {
+	var b strings.Builder
+	b.WriteString("DIADS — Diagnosis Workflow\n\n")
+
+	type module struct {
+		name string
+		done bool
+	}
+	res := w.Res
+	modules := []module{
+		{"PD", res.PD != nil},
+		{"CO", res.CO != nil},
+		{"DA", res.DA != nil},
+		{"CR", res.CR != nil},
+		{"SD", res.Facts != nil},
+		{"IA", res.IA != nil},
+	}
+	ready := true
+	for _, m := range modules {
+		switch {
+		case m.done:
+			fmt.Fprintf(&b, "[%s*] ", m.name)
+		case ready:
+			fmt.Fprintf(&b, "[%s ] ", m.name)
+			ready = false
+		default:
+			fmt.Fprintf(&b, "(%s ) ", m.name)
+		}
+		if m.done {
+			ready = true
+		}
+	}
+	b.WriteString("   (* executed, [] next, () disabled)\n\n")
+	b.WriteString("Result panel:\n")
+	switch {
+	case res.IA != nil:
+		b.WriteString("Module IA — root causes and impact:\n")
+		for _, item := range res.IA.Items {
+			fmt.Fprintf(&b, "  %-55s impact=%5.1f%%\n", item.Cause.String(), item.Score)
+		}
+	case res.Facts != nil:
+		b.WriteString("Module SD — cause confidence:\n")
+		for _, c := range res.Causes {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	case res.CR != nil:
+		fmt.Fprintf(&b, "Module CR — record-count anomalies on operators %v\n", res.CR.CRS)
+	case res.DA != nil:
+		fmt.Fprintf(&b, "Module DA — %d correlated component metrics\n", len(res.DA.CCS))
+		for _, s := range res.DA.CCS {
+			fmt.Fprintf(&b, "  %-14s %-30s score=%.3f\n", s.Component, s.Metric, s.Score)
+		}
+	case res.CO != nil:
+		b.WriteString("Module CO — correlated operator set:\n")
+		for _, id := range res.CO.COS {
+			n, _ := res.APG.Plan.Node(id)
+			label := ""
+			if n != nil {
+				label = n.Label()
+			}
+			fmt.Fprintf(&b, "  O%-3d %-40s score=%.3f\n", id, label, res.CO.ScoreOf(id))
+		}
+	case res.PD != nil:
+		if res.PD.Changed {
+			b.WriteString("Module PD — plan changed; see plan-change analysis\n")
+		} else {
+			b.WriteString("Module PD — same plan in both regimes\n")
+		}
+	default:
+		b.WriteString("(no module executed yet)\n")
+	}
+	return b.String()
+}
+
+// PlanScreen renders a plan as the pop-up the query screen shows when the
+// plan cell is clicked.
+func PlanScreen(p *plan.Plan) string {
+	return fmt.Sprintf("Plan %s (signature %s)\n%s", p.Query, p.Signature(), p.Render())
+}

@@ -1,0 +1,119 @@
+package console
+
+import (
+	"strings"
+	"testing"
+
+	"diads/internal/apg"
+	"diads/internal/diag"
+	"diads/internal/exec"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/workload"
+)
+
+func simulated(t *testing.T) (*testbed.Testbed, *diag.Input) {
+	t.Helper()
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: simtime.Time(10 * simtime.Minute), Period: 30 * simtime.Minute, Count: 5},
+	}
+	horizon := simtime.Time(10*simtime.Minute) + simtime.Time(5*30*simtime.Minute)
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	labels := diag.LabelByWindow(runs, simtime.NewInterval(runs[3].Start, horizon))
+	in := &diag.Input{
+		Query: "Q2", Runs: runs, Satisfactory: labels,
+		Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+		SymDB: symptoms.Builtin(),
+	}
+	return tb, in
+}
+
+func TestQueryScreenColumnsAndMarks(t *testing.T) {
+	_, in := simulated(t)
+	s := QueryScreen(in.Runs, in.Satisfactory)
+	for _, want := range []string{"Run", "Query", "Plan", "Start time", "End time",
+		"Duration", "Unsat", "[x]", "[ ]", "run-Q2-001", "[APG]", "[Workflow]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("query screen missing %q:\n%s", want, s)
+		}
+	}
+	// Rows are time-ordered even if input is shuffled.
+	shuffled := []*exec.RunRecord{in.Runs[3], in.Runs[0], in.Runs[2]}
+	s2 := QueryScreen(shuffled, in.Satisfactory)
+	if strings.Index(s2, "run-Q2-001") > strings.Index(s2, "run-Q2-003") {
+		t.Fatalf("rows should be time ordered:\n%s", s2)
+	}
+}
+
+func TestAPGScreenShowsMetricsTable(t *testing.T) {
+	tb, in := simulated(t)
+	g, err := apg.Build(tb.Runs[0].Plan, tb.Cfg, tb.Cat, testbed.ServerDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := tb.Runs[4]
+	windows := []simtime.Interval{simtime.NewInterval(run.Start.Add(-300), run.Stop.Add(300))}
+	s := APGScreen(g, in.Store, run, string(testbed.VolV1), windows)
+	for _, want := range []string{"APG Visualization", "vol-V1", "Time", "Metric", "Value",
+		"Unsat", "readIO"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("APG screen missing %q", want)
+		}
+	}
+	// Unknown component degrades gracefully.
+	s2 := APGScreen(g, in.Store, run, "no-such-component", nil)
+	if !strings.Contains(s2, "no metrics recorded") {
+		t.Fatalf("missing-component handling wrong:\n%s", s2)
+	}
+}
+
+func TestWorkflowScreenProgressMarkers(t *testing.T) {
+	_, in := simulated(t)
+	w, err := diag.NewWorkflow(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := WorkflowScreen(w)
+	if !strings.Contains(s0, "[PD ]") || !strings.Contains(s0, "(CO )") {
+		t.Fatalf("initial screen wrong:\n%s", s0)
+	}
+	if err := w.RunPD(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunCO(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := WorkflowScreen(w)
+	for _, want := range []string{"[PD*]", "[CO*]", "[DA ]", "(SD )", "correlated operator set"} {
+		if !strings.Contains(s1, want) {
+			t.Fatalf("post-CO screen missing %q:\n%s", want, s1)
+		}
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := WorkflowScreen(w)
+	if !strings.Contains(s2, "[IA*]") || !strings.Contains(s2, "Module IA") {
+		t.Fatalf("final screen missing IA results:\n%s", s2)
+	}
+}
+
+func TestPlanScreen(t *testing.T) {
+	tb, _ := simulated(t)
+	s := PlanScreen(tb.Runs[0].Plan)
+	if !strings.Contains(s, "signature") || !strings.Contains(s, "O25") {
+		t.Fatalf("plan screen wrong:\n%s", s)
+	}
+}

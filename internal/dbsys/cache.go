@@ -1,0 +1,46 @@
+package dbsys
+
+import "math"
+
+// CacheModel approximates the database buffer cache: per-table hit ratios
+// derived from the ratio of cache capacity to table working-set size. Hot
+// small relations (nation, region) hit nearly always; large relations
+// (partsupp, lineitem) mostly miss, sending their reads to the SAN — which
+// is what makes their leaf operators sensitive to storage contention.
+type CacheModel struct {
+	// SizeMB is the buffer cache capacity.
+	SizeMB float64
+	// MaxHit bounds the achievable hit ratio (checkpoints and scans always
+	// cause some misses).
+	MaxHit float64
+}
+
+// NewCacheModel returns a cache model with the given capacity.
+func NewCacheModel(sizeMB float64) *CacheModel {
+	return &CacheModel{SizeMB: sizeMB, MaxHit: 0.995}
+}
+
+// HitRatio returns the expected buffer hit ratio for reads of the table.
+// Index-order access (indexed=true) concentrates on hot pages and enjoys a
+// higher effective ratio than full scans of the same relation.
+func (cm *CacheModel) HitRatio(t *Table, indexed bool) float64 {
+	if cm.SizeMB <= 0 {
+		return 0
+	}
+	tableMB := float64(t.Pages()) * PageSizeKB / 1024
+	if tableMB <= 0 {
+		return cm.MaxHit
+	}
+	ratio := cm.SizeMB / tableMB
+	if indexed {
+		// Index traversals revisit upper-level pages constantly.
+		ratio *= 3
+	}
+	h := 1 - math.Exp(-ratio)
+	return math.Min(h, cm.MaxHit)
+}
+
+// MissRatio is 1 - HitRatio.
+func (cm *CacheModel) MissRatio(t *Table, indexed bool) float64 {
+	return 1 - cm.HitRatio(t, indexed)
+}

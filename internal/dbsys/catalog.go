@@ -1,0 +1,284 @@
+// Package dbsys is the database-system substrate of the DIADS
+// reproduction: a TPC-H catalog with tablespace-to-SAN-volume mappings,
+// optimizer-visible statistics (which can go stale), PostgreSQL-style
+// configuration parameters, a buffer-cache model, and a table lock
+// manager. The execution simulator (internal/exec) and the optimizer
+// (internal/opt) both run against this substrate.
+package dbsys
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"diads/internal/topology"
+)
+
+// PageSizeKB is the database page size.
+const PageSizeKB = 8
+
+// StorageMode distinguishes the two tablespace configurations the paper
+// describes in Section 3.1.2.
+type StorageMode string
+
+// Tablespace storage modes.
+const (
+	SystemManaged   StorageMode = "SMS" // file system on a SAN volume
+	DatabaseManaged StorageMode = "DMS" // raw SAN volume
+)
+
+// Tablespace maps database storage to a SAN volume.
+type Tablespace struct {
+	Name   string
+	Volume topology.ID
+	Mode   StorageMode
+}
+
+// Table describes one relation and its current (actual) data properties.
+type Table struct {
+	Name       string
+	Tablespace string
+	Rows       int64
+	RowWidthB  int
+}
+
+// Pages returns the number of heap pages the table occupies.
+func (t *Table) Pages() int64 {
+	bytesPerPage := int64(PageSizeKB * 1024)
+	total := t.Rows * int64(t.RowWidthB)
+	p := total / bytesPerPage
+	if total%bytesPerPage != 0 || p == 0 {
+		p++
+	}
+	return p
+}
+
+// Index describes a secondary or primary index.
+type Index struct {
+	Name    string
+	Table   string
+	Column  string
+	Dropped bool
+	// Correlation in [0,1]: 1 means heap fetches through this index are
+	// fully sequential, 0 fully random.
+	Correlation float64
+}
+
+// Catalog is the database schema plus actual data properties. It is safe
+// for concurrent use.
+type Catalog struct {
+	mu          sync.RWMutex
+	tables      map[string]*Table
+	indexes     map[string]*Index
+	tablespaces map[string]*Tablespace
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:      make(map[string]*Table),
+		indexes:     make(map[string]*Index),
+		tablespaces: make(map[string]*Tablespace),
+	}
+}
+
+// AddTablespace registers a tablespace on a SAN volume.
+func (c *Catalog) AddTablespace(name string, volume topology.ID, mode StorageMode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tablespaces[name] = &Tablespace{Name: name, Volume: volume, Mode: mode}
+}
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(name, tablespace string, rows int64, rowWidthB int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tablespaces[tablespace]; !ok {
+		return fmt.Errorf("dbsys: table %q references unknown tablespace %q", name, tablespace)
+	}
+	c.tables[name] = &Table{Name: name, Tablespace: tablespace, Rows: rows, RowWidthB: rowWidthB}
+	return nil
+}
+
+// AddIndex registers an index.
+func (c *Catalog) AddIndex(name, table, column string, correlation float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[table]; !ok {
+		return fmt.Errorf("dbsys: index %q references unknown table %q", name, table)
+	}
+	c.indexes[name] = &Index{Name: name, Table: table, Column: column, Correlation: correlation}
+	return nil
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, false
+	}
+	cp := *t
+	return &cp, true
+}
+
+// MustTable returns the named table or panics.
+func (c *Catalog) MustTable(name string) *Table {
+	t, ok := c.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("dbsys: unknown table %q", name))
+	}
+	return t
+}
+
+// Index returns the named index.
+func (c *Catalog) Index(name string) (*Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[name]
+	if !ok {
+		return nil, false
+	}
+	cp := *ix
+	return &cp, true
+}
+
+// IndexOn returns a usable (non-dropped) index on table.column, if any.
+func (c *Catalog) IndexOn(table, column string) (*Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ix := c.indexes[n]
+		if ix.Table == table && ix.Column == column && !ix.Dropped {
+			cp := *ix
+			return &cp, true
+		}
+	}
+	return nil, false
+}
+
+// DropIndex marks an index dropped; it reports whether the index existed.
+func (c *Catalog) DropIndex(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix, ok := c.indexes[name]
+	if !ok {
+		return false
+	}
+	ix.Dropped = true
+	return true
+}
+
+// RestoreIndex clears the dropped flag; it reports whether the index
+// existed.
+func (c *Catalog) RestoreIndex(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix, ok := c.indexes[name]
+	if !ok {
+		return false
+	}
+	ix.Dropped = false
+	return true
+}
+
+// SetRows changes a table's actual cardinality (a data-property change;
+// the optimizer's statistics snapshot does not see it until re-analyzed).
+func (c *Catalog) SetRows(table string, rows int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return fmt.Errorf("dbsys: unknown table %q", table)
+	}
+	t.Rows = rows
+	return nil
+}
+
+// ScaleRows multiplies a table's actual cardinality by factor.
+func (c *Catalog) ScaleRows(table string, factor float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return fmt.Errorf("dbsys: unknown table %q", table)
+	}
+	t.Rows = int64(float64(t.Rows) * factor)
+	return nil
+}
+
+// VolumeOf returns the SAN volume holding the table's tablespace.
+func (c *Catalog) VolumeOf(table string) (topology.ID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[table]
+	if !ok {
+		return "", fmt.Errorf("dbsys: unknown table %q", table)
+	}
+	ts, ok := c.tablespaces[t.Tablespace]
+	if !ok {
+		return "", fmt.Errorf("dbsys: table %q has unknown tablespace %q", table, t.Tablespace)
+	}
+	return ts.Volume, nil
+}
+
+// Tables returns all table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tablespaces returns all tablespaces, sorted by name.
+func (c *Catalog) Tablespaces() []Tablespace {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Tablespace, 0, len(c.tablespaces))
+	for _, ts := range c.tablespaces {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot captures the optimizer-visible statistics: per-table row counts
+// as of "ANALYZE time". A data-property change after the snapshot leaves
+// the optimizer estimating from stale numbers, which is how estimated and
+// actual record counts diverge.
+func (c *Catalog) Snapshot() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Stats{Rows: make(map[string]int64, len(c.tables))}
+	for n, t := range c.tables {
+		s.Rows[n] = t.Rows
+	}
+	return s
+}
+
+// Stats is an optimizer-visible statistics snapshot.
+type Stats struct {
+	Rows map[string]int64
+}
+
+// RowsOf returns the snapshot cardinality for a table (0 if absent).
+func (s Stats) RowsOf(table string) int64 { return s.Rows[table] }
+
+// Clone returns a deep copy of the snapshot.
+func (s Stats) Clone() Stats {
+	out := Stats{Rows: make(map[string]int64, len(s.Rows))}
+	for k, v := range s.Rows {
+		out.Rows[k] = v
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package dbsys
+
+import (
+	"sort"
+	"sync"
+
+	"diads/internal/simtime"
+)
+
+// LockMode distinguishes shared from exclusive table locks.
+type LockMode int
+
+// Lock modes.
+const (
+	LockShared LockMode = iota
+	LockExclusive
+)
+
+// String implements fmt.Stringer.
+func (m LockMode) String() string {
+	if m == LockExclusive {
+		return "EXCLUSIVE"
+	}
+	return "SHARED"
+}
+
+// Hold is one table lock held over an interval by some transaction.
+type Hold struct {
+	Table  string
+	Iv     simtime.Interval
+	Mode   LockMode
+	Holder string
+}
+
+// LockManager models table-level lock contention: external transactions
+// register holds, and query execution asks how long a read arriving at
+// time t must wait. It is safe for concurrent use.
+type LockManager struct {
+	mu    sync.RWMutex
+	holds []Hold
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager { return &LockManager{} }
+
+// AddHold registers an external lock hold.
+func (lm *LockManager) AddHold(h Hold) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.holds = append(lm.holds, h)
+}
+
+// WaitTime returns how long a shared (read) lock request on table arriving
+// at time t waits: until the last conflicting exclusive hold covering t
+// releases. Readers do not conflict with shared holds.
+func (lm *LockManager) WaitTime(table string, t simtime.Time) simtime.Duration {
+	lm.mu.RLock()
+	defer lm.mu.RUnlock()
+	var wait simtime.Duration
+	for _, h := range lm.holds {
+		if h.Table != table || h.Mode != LockExclusive {
+			continue
+		}
+		if h.Iv.Contains(t) {
+			if w := h.Iv.End.Sub(t); w > wait {
+				wait = w
+			}
+		}
+	}
+	return wait
+}
+
+// HeldAt returns the number of locks held on any table at time t.
+func (lm *LockManager) HeldAt(t simtime.Time) int {
+	lm.mu.RLock()
+	defer lm.mu.RUnlock()
+	n := 0
+	for _, h := range lm.holds {
+		if h.Iv.Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Holds returns all registered holds sorted by start time.
+func (lm *LockManager) Holds() []Hold {
+	lm.mu.RLock()
+	defer lm.mu.RUnlock()
+	out := make([]Hold, len(lm.holds))
+	copy(out, lm.holds)
+	sort.Slice(out, func(i, j int) bool { return out[i].Iv.Start < out[j].Iv.Start })
+	return out
+}

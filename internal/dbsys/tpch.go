@@ -1,0 +1,81 @@
+package dbsys
+
+import "diads/internal/topology"
+
+// TPC-H table names used throughout the reproduction.
+const (
+	TPart     = "part"
+	TSupplier = "supplier"
+	TPartsupp = "partsupp"
+	TCustomer = "customer"
+	TOrders   = "orders"
+	TLineitem = "lineitem"
+	TNation   = "nation"
+	TRegion   = "region"
+)
+
+// Index names for the TPC-H catalog.
+const (
+	IdxPartKey        = "part_pkey"
+	IdxPartType       = "part_type_idx"
+	IdxSupplierKey    = "supplier_pkey"
+	IdxPartsuppPart   = "partsupp_partkey_idx"
+	IdxPartsuppSupp   = "partsupp_suppkey_idx"
+	IdxNationKey      = "nation_pkey"
+	IdxRegionKey      = "region_pkey"
+	IdxOrdersKey      = "orders_pkey"
+	IdxLineitemOrder  = "lineitem_orderkey_idx"
+	IdxCustomerKey    = "customer_pkey"
+	IdxOrdersCustomer = "orders_custkey_idx"
+)
+
+// Tablespace names: ts_partsupp lives on volume V1, ts_main on V2,
+// matching the Figure 1 layout where the query's two "victim" leaf
+// operators read V1 and the remaining seven read V2.
+const (
+	TSPartsupp = "ts_partsupp"
+	TSMain     = "ts_main"
+)
+
+// NewTPCHCatalog builds a TPC-H catalog at the given scale factor with
+// tablespaces mapped to the two SAN volumes. Row widths follow the TPC-H
+// specification's average tuple sizes.
+func NewTPCHCatalog(scale float64, volV1, volV2 topology.ID) *Catalog {
+	c := NewCatalog()
+	c.AddTablespace(TSPartsupp, volV1, SystemManaged)
+	c.AddTablespace(TSMain, volV2, SystemManaged)
+
+	rows := func(base float64) int64 {
+		n := int64(base * scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	mustAdd := func(err error) {
+		if err != nil {
+			panic(err) // static schema; failure is a programming error
+		}
+	}
+	mustAdd(c.AddTable(TPart, TSMain, rows(200_000), 155))
+	mustAdd(c.AddTable(TSupplier, TSMain, rows(10_000), 159))
+	mustAdd(c.AddTable(TPartsupp, TSPartsupp, rows(800_000), 144))
+	mustAdd(c.AddTable(TCustomer, TSMain, rows(150_000), 179))
+	mustAdd(c.AddTable(TOrders, TSMain, rows(1_500_000), 104))
+	mustAdd(c.AddTable(TLineitem, TSMain, rows(6_000_000), 112))
+	mustAdd(c.AddTable(TNation, TSMain, 25, 128))
+	mustAdd(c.AddTable(TRegion, TSMain, 5, 124))
+
+	mustAdd(c.AddIndex(IdxPartKey, TPart, "p_partkey", 1.0))
+	mustAdd(c.AddIndex(IdxPartType, TPart, "p_type", 0.2))
+	mustAdd(c.AddIndex(IdxSupplierKey, TSupplier, "s_suppkey", 1.0))
+	mustAdd(c.AddIndex(IdxPartsuppPart, TPartsupp, "ps_partkey", 0.9))
+	mustAdd(c.AddIndex(IdxPartsuppSupp, TPartsupp, "ps_suppkey", 0.1))
+	mustAdd(c.AddIndex(IdxNationKey, TNation, "n_nationkey", 1.0))
+	mustAdd(c.AddIndex(IdxRegionKey, TRegion, "r_regionkey", 1.0))
+	mustAdd(c.AddIndex(IdxOrdersKey, TOrders, "o_orderkey", 1.0))
+	mustAdd(c.AddIndex(IdxLineitemOrder, TLineitem, "l_orderkey", 0.95))
+	mustAdd(c.AddIndex(IdxCustomerKey, TCustomer, "c_custkey", 1.0))
+	mustAdd(c.AddIndex(IdxOrdersCustomer, TOrders, "o_custkey", 0.3))
+	return c
+}

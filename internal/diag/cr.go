@@ -1,0 +1,66 @@
+package diag
+
+import (
+	"sort"
+
+	"diads/internal/exec"
+	"diads/internal/kde"
+	"diads/internal/plan"
+)
+
+// CRResult is Module CR's output.
+type CRResult struct {
+	// Scores holds record-count anomaly scores for the operators in the
+	// COS, ordered by ID.
+	Scores []OperatorScore
+	// CRS lists the operators whose record counts changed significantly —
+	// evidence of a data-property change.
+	CRS []int
+	// TableScores aggregates the per-operator scores to the base tables
+	// of the leaf operators involved (max score per table).
+	TableScores map[string]float64
+}
+
+// CorrelatedRecordCounts implements Module CR: it checks whether the
+// change in performance of the correlated operators correlates with their
+// record counts; significant correlations mean the data properties
+// changed between the satisfactory and unsatisfactory runs (Section 4.1).
+func CorrelatedRecordCounts(in *Input, p *plan.Plan, co *COResult) (*CRResult, error) {
+	sat, unsat := runsOnPlan(in.satisfactoryRuns(), p), runsOnPlan(in.unsatisfactoryRuns(), p)
+	res := &CRResult{TableScores: make(map[string]float64)}
+	threshold := in.threshold()
+	for _, opID := range co.COS {
+		node, ok := p.Node(opID)
+		if !ok {
+			continue
+		}
+		satCounts := actualRowCounts(sat, opID)
+		unsatCounts := actualRowCounts(unsat, opID)
+		score, err := kde.AnomalyScore(satCounts, unsatCounts)
+		if err != nil {
+			continue
+		}
+		res.Scores = append(res.Scores, OperatorScore{
+			ID: opID, Type: node.Type, Table: node.Table, Score: score,
+		})
+		if score > threshold {
+			res.CRS = append(res.CRS, opID)
+		}
+		if node.IsLeaf() && score > res.TableScores[node.Table] {
+			res.TableScores[node.Table] = score
+		}
+	}
+	sort.Ints(res.CRS)
+	return res, nil
+}
+
+// actualRowCounts extracts one operator's actual record counts per run.
+func actualRowCounts(runs []*exec.RunRecord, opID int) []float64 {
+	out := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		if op := r.Op(opID); op != nil {
+			out = append(out, op.ActRows)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package diag
+
+import (
+	"sort"
+
+	"diads/internal/apg"
+	"diads/internal/exec"
+	"diads/internal/kde"
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+	"diads/internal/topology"
+)
+
+// MetricScore is one (component, metric) anomaly score.
+type MetricScore struct {
+	Component string
+	Metric    metrics.Metric
+	Score     float64
+}
+
+// DAResult is Module DA's output.
+type DAResult struct {
+	// Scores holds every evaluated (component, metric) pair, sorted by
+	// component then metric.
+	Scores []MetricScore
+	// CCS is the correlated component set: the pairs whose score exceeds
+	// the threshold.
+	CCS []MetricScore
+}
+
+// ScoreOf returns the anomaly score for a (component, metric) pair.
+func (r *DAResult) ScoreOf(component string, metric metrics.Metric) float64 {
+	for _, s := range r.Scores {
+		if s.Component == component && s.Metric == metric {
+			return s.Score
+		}
+	}
+	return 0
+}
+
+// Components returns the distinct components present in the CCS, sorted.
+func (r *DAResult) Components() []string {
+	seen := map[string]bool{}
+	for _, s := range r.CCS {
+		seen[s.Component] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// minSamplesForKDE is the minimum satisfactory sample count for a metric
+// series to be scored; fewer samples make density estimates meaningless.
+const minSamplesForKDE = 4
+
+// DependencyAnalysis implements Module DA: it generates dependency paths
+// for the operators in the COS and prunes them by correlating component
+// performance metrics with the runs' behaviour. A component is in the
+// correlated component set only if (i) it lies on the dependency path of
+// a correlated operator and (ii) at least one of its performance metrics
+// is significantly anomalous during the unsatisfactory runs (Section
+// 4.1).
+//
+// Both inner and outer dependency paths contribute candidate components:
+// the outer path is how a misconfigured volume sharing V1's disks enters
+// the analysis.
+func DependencyAnalysis(in *Input, g *apg.APG, co *COResult) (*DAResult, error) {
+	res := &DAResult{}
+	comps := candidateComponents(g, co)
+	sat, unsat := in.satisfactoryRuns(), in.unsatisfactoryRuns()
+	threshold := in.threshold()
+
+	for _, comp := range comps {
+		c := string(comp)
+		for _, m := range in.Store.MetricsFor(c) {
+			satVals := perRunMeans(in.Store, c, m, sat)
+			unsatVals := perRunMeans(in.Store, c, m, unsat)
+			if len(satVals) < minSamplesForKDE || len(unsatVals) == 0 {
+				continue
+			}
+			score, err := kde.AnomalyScore(satVals, unsatVals)
+			if err != nil {
+				continue
+			}
+			ms := MetricScore{Component: c, Metric: m, Score: score}
+			res.Scores = append(res.Scores, ms)
+			if score > threshold {
+				res.CCS = append(res.CCS, ms)
+			}
+		}
+	}
+	sort.Slice(res.Scores, func(i, j int) bool {
+		if res.Scores[i].Component != res.Scores[j].Component {
+			return res.Scores[i].Component < res.Scores[j].Component
+		}
+		return res.Scores[i].Metric < res.Scores[j].Metric
+	})
+	sort.Slice(res.CCS, func(i, j int) bool {
+		if res.CCS[i].Component != res.CCS[j].Component {
+			return res.CCS[i].Component < res.CCS[j].Component
+		}
+		return res.CCS[i].Metric < res.CCS[j].Metric
+	})
+	return res, nil
+}
+
+// candidateComponents collects the components on the dependency paths of
+// the correlated operators: the inner paths, the outer paths (volumes
+// sharing disks), and — because outer-path volumes matter precisely when
+// disks are shared — every volume of the pools those paths traverse.
+func candidateComponents(g *apg.APG, co *COResult) []topology.ID {
+	seen := map[topology.ID]bool{}
+	var out []topology.ID
+	add := func(id topology.ID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, opID := range co.COS {
+		dp := g.DependencyPath(opID)
+		for _, id := range dp.Inner {
+			add(id)
+		}
+		for _, id := range dp.Outer {
+			add(id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProbeMetricScore computes the anomaly score for one (component,
+// metric) pair directly from the monitoring store, independent of Module
+// DA's dependency-path pruning. The Table 2 reproduction uses it to
+// report scores for volumes DA legitimately pruned away.
+func ProbeMetricScore(in *Input, component string, metric metrics.Metric) (float64, error) {
+	satVals := perRunMeans(in.Store, component, metric, in.satisfactoryRuns())
+	unsatVals := perRunMeans(in.Store, component, metric, in.unsatisfactoryRuns())
+	if len(satVals) < minSamplesForKDE || len(unsatVals) == 0 {
+		return 0, kde.ErrNoSamples
+	}
+	return kde.AnomalyScore(satVals, unsatVals)
+}
+
+// perRunMeans computes one observation per run: the mean of the metric
+// over the run's window, padded by the monitoring interval so that coarse
+// series contribute their nearest samples. Runs whose windows contain no
+// samples are skipped.
+func perRunMeans(store *metrics.Store, component string, metric metrics.Metric, runs []*exec.RunRecord) []float64 {
+	pad := metrics.DefaultMonitorInterval
+	var out []float64
+	for _, r := range runs {
+		win := simtime.NewInterval(r.Start.Add(-pad), r.Stop.Add(pad))
+		mean, n := store.WindowMean(component, metric, win)
+		if n == 0 {
+			continue
+		}
+		out = append(out, mean)
+	}
+	return out
+}

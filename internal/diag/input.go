@@ -1,0 +1,164 @@
+// Package diag implements DIADS's diagnosis workflow (Figure 2 of the
+// paper): starting from a query the administrator marked as having
+// satisfactory and unsatisfactory runs, it drills down to plans (Module
+// PD), operators (Module CO), components (Module DA), and record counts
+// (Module CR), maps the observed symptoms to root causes through the
+// symptoms database (Module SD), and rolls back up with impact analysis
+// (Module IA) to tie causes to their share of the slowdown.
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"diads/internal/dbsys"
+	"diads/internal/exec"
+	"diads/internal/kde"
+	"diads/internal/metrics"
+	"diads/internal/opt"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/topology"
+)
+
+// Input is everything the workflow consumes: the run history with the
+// administrator's satisfactory/unsatisfactory labels, the monitoring
+// store, and the configuration state needed to construct APGs and replay
+// plan choices.
+type Input struct {
+	Query string
+	Runs  []*exec.RunRecord
+	// Satisfactory maps run IDs to the administrator's labels. Runs
+	// absent from the map are ignored.
+	Satisfactory map[string]bool
+
+	Store  *metrics.Store
+	Cfg    *topology.Config
+	Cat    *dbsys.Catalog
+	Opt    *opt.Optimizer
+	Params *dbsys.Params
+	Stats  dbsys.Stats
+	Server topology.ID
+
+	// SymDB is the symptoms database; nil means diagnosis stops after the
+	// module outputs (the paper notes DIADS still narrows the search
+	// space without one).
+	SymDB *symptoms.DB
+	// Threshold is the anomaly-score threshold (default 0.8).
+	Threshold float64
+}
+
+// threshold returns the configured or default anomaly threshold.
+func (in *Input) threshold() float64 {
+	if in.Threshold > 0 {
+		return in.Threshold
+	}
+	return kde.DefaultThreshold
+}
+
+// Threshold0 exposes the effective anomaly threshold to other analyzers
+// (the silo baselines reuse it for comparability).
+func (in *Input) Threshold0() float64 { return in.threshold() }
+
+// SatRuns exposes the labeled-satisfactory runs in time order.
+func (in *Input) SatRuns() []*exec.RunRecord { return in.satisfactoryRuns() }
+
+// UnsatRuns exposes the labeled-unsatisfactory runs in time order.
+func (in *Input) UnsatRuns() []*exec.RunRecord { return in.unsatisfactoryRuns() }
+
+// satisfactoryRuns returns the labeled-satisfactory runs in time order.
+func (in *Input) satisfactoryRuns() []*exec.RunRecord {
+	return in.labeled(true)
+}
+
+// unsatisfactoryRuns returns the labeled-unsatisfactory runs in time
+// order.
+func (in *Input) unsatisfactoryRuns() []*exec.RunRecord {
+	return in.labeled(false)
+}
+
+func (in *Input) labeled(want bool) []*exec.RunRecord {
+	var out []*exec.RunRecord
+	for _, r := range in.Runs {
+		if sat, ok := in.Satisfactory[r.RunID]; ok && sat == want {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// validate checks the input is diagnosable.
+func (in *Input) validate() error {
+	if len(in.Runs) == 0 {
+		return fmt.Errorf("diag: no runs for query %s", in.Query)
+	}
+	sat, unsat := in.satisfactoryRuns(), in.unsatisfactoryRuns()
+	if len(sat) < 3 {
+		return fmt.Errorf("diag: need at least 3 satisfactory runs, have %d", len(sat))
+	}
+	if len(unsat) < 1 {
+		return fmt.Errorf("diag: need at least 1 unsatisfactory run, have %d", len(unsat))
+	}
+	if in.Store == nil || in.Cfg == nil || in.Cat == nil {
+		return fmt.Errorf("diag: store, config, and catalog are required")
+	}
+	return nil
+}
+
+// LabelByDuration produces labels declaratively, like the paper's
+// "every query execution that has a running time greater than 30 minutes
+// is unsatisfactory": runs with duration <= cutoff are satisfactory.
+func LabelByDuration(runs []*exec.RunRecord, cutoff simtime.Duration) map[string]bool {
+	labels := make(map[string]bool, len(runs))
+	for _, r := range runs {
+		labels[r.RunID] = r.Duration() <= cutoff
+	}
+	return labels
+}
+
+// LabelByWindow labels runs starting inside unsatWindow as
+// unsatisfactory and everything else satisfactory, like the paper's "all
+// runs from 2 PM to 3 PM were unsatisfactory".
+func LabelByWindow(runs []*exec.RunRecord, unsatWindow simtime.Interval) map[string]bool {
+	labels := make(map[string]bool, len(runs))
+	for _, r := range runs {
+		labels[r.RunID] = !unsatWindow.Contains(r.Start)
+	}
+	return labels
+}
+
+// LabelAdaptive labels runs relative to the median of the first few runs:
+// anything more than factor times the early median is unsatisfactory.
+// It is a convenience for experiments; real administrators mark runs
+// explicitly or declaratively.
+func LabelAdaptive(runs []*exec.RunRecord, factor float64) map[string]bool {
+	if len(runs) == 0 {
+		return nil
+	}
+	ordered := make([]*exec.RunRecord, len(runs))
+	copy(ordered, runs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	n := len(ordered) / 3
+	if n < 3 {
+		n = min(3, len(ordered))
+	}
+	early := make([]float64, 0, n)
+	for _, r := range ordered[:n] {
+		early = append(early, float64(r.Duration()))
+	}
+	sort.Float64s(early)
+	median := early[len(early)/2]
+	labels := make(map[string]bool, len(runs))
+	for _, r := range ordered {
+		labels[r.RunID] = float64(r.Duration()) <= median*factor
+	}
+	return labels
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

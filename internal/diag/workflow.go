@@ -1,0 +1,261 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"diads/internal/apg"
+	"diads/internal/symptoms"
+)
+
+// Result is the complete output of one diagnosis.
+type Result struct {
+	Query string
+	PD    *PDResult
+	APG   *apg.APG
+	CO    *COResult
+	DA    *DAResult
+	CR    *CRResult
+	Facts *symptoms.FactBase
+	// Causes are the symptoms-database hypotheses, sorted by confidence.
+	Causes []symptoms.CauseInstance
+	IA     *IAResult
+}
+
+// TopCause returns the highest-confidence cause, breaking ties by impact
+// score, or false if no cause reached medium confidence.
+func (r *Result) TopCause() (ImpactItem, bool) {
+	if r.IA != nil && len(r.IA.Items) > 0 {
+		return r.IA.Items[0], true
+	}
+	return ImpactItem{}, false
+}
+
+// Workflow runs the diagnosis modules, either batch (Run) or one module
+// at a time — the paper's interactive mode, where the administrator can
+// inspect and edit each module's result (e.g. prune the COS) before the
+// next module consumes it.
+type Workflow struct {
+	In  *Input
+	Res *Result
+}
+
+// NewWorkflow validates the input and prepares a workflow.
+func NewWorkflow(in *Input) (*Workflow, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	return &Workflow{In: in, Res: &Result{Query: in.Query}}, nil
+}
+
+// Run executes the full batch workflow of Figure 2: PD first; if the plan
+// changed, plan-change analysis is the diagnosis. Otherwise CO, DA, CR
+// run against the common plan, SD maps symptoms to causes, and IA scores
+// their impact.
+func (w *Workflow) Run() (*Result, error) {
+	if err := w.RunPD(); err != nil {
+		return nil, err
+	}
+	if w.Res.PD.Changed {
+		return w.Res, nil
+	}
+	if err := w.RunCO(); err != nil {
+		return nil, err
+	}
+	if err := w.RunDA(); err != nil {
+		return nil, err
+	}
+	if err := w.RunCR(); err != nil {
+		return nil, err
+	}
+	if err := w.RunSD(); err != nil {
+		return nil, err
+	}
+	if err := w.RunIA(); err != nil {
+		return nil, err
+	}
+	return w.Res, nil
+}
+
+// RunPD executes Module PD and, when the plan is unchanged, builds the
+// APG of the common plan for the downstream modules.
+func (w *Workflow) RunPD() error {
+	pd, err := PlanDiffing(w.In)
+	if err != nil {
+		return err
+	}
+	w.Res.PD = pd
+	if !pd.Changed {
+		g, err := apg.Build(pd.CommonPlan, w.In.Cfg, w.In.Cat, w.In.Server)
+		if err != nil {
+			return err
+		}
+		w.Res.APG = g
+	}
+	return nil
+}
+
+// RunCO executes Module CO. RunPD must have run and found no plan change.
+func (w *Workflow) RunCO() error {
+	if w.Res.APG == nil {
+		return fmt.Errorf("diag: Module CO requires Module PD to find a common plan first")
+	}
+	co, err := CorrelatedOperators(w.In, w.Res.APG.Plan)
+	if err != nil {
+		return err
+	}
+	w.Res.CO = co
+	return nil
+}
+
+// OverrideCOS replaces the correlated operator set — the interactive
+// mode's edit hook between CO and DA.
+func (w *Workflow) OverrideCOS(cos []int) error {
+	if w.Res.CO == nil {
+		return fmt.Errorf("diag: run Module CO before overriding its result")
+	}
+	w.Res.CO.COS = append([]int(nil), cos...)
+	return nil
+}
+
+// RunDA executes Module DA. RunCO must have run.
+func (w *Workflow) RunDA() error {
+	if w.Res.CO == nil {
+		return fmt.Errorf("diag: Module DA requires Module CO's result")
+	}
+	da, err := DependencyAnalysis(w.In, w.Res.APG, w.Res.CO)
+	if err != nil {
+		return err
+	}
+	w.Res.DA = da
+	return nil
+}
+
+// RunCR executes Module CR. RunCO must have run.
+func (w *Workflow) RunCR() error {
+	if w.Res.CO == nil {
+		return fmt.Errorf("diag: Module CR requires Module CO's result")
+	}
+	cr, err := CorrelatedRecordCounts(w.In, w.Res.APG.Plan, w.Res.CO)
+	if err != nil {
+		return err
+	}
+	w.Res.CR = cr
+	return nil
+}
+
+// RunSD builds the fact base from the module outputs and evaluates the
+// symptoms database. Without a symptoms database it still records the
+// facts — the paper notes DIADS usefully narrows the search space even
+// when the database is missing or incomplete.
+func (w *Workflow) RunSD() error {
+	if w.Res.DA == nil || w.Res.CR == nil {
+		return fmt.Errorf("diag: Module SD requires Modules DA and CR")
+	}
+	w.Res.Facts = BuildFacts(w.In, w.Res.APG, w.Res.PD, w.Res.CO, w.Res.DA, w.Res.CR)
+	if w.In.SymDB != nil {
+		w.Res.Causes = w.In.SymDB.Evaluate(w.Res.Facts, Bindings(w.In, w.Res.APG))
+	}
+	return nil
+}
+
+// RunIA executes Module IA over the medium- and high-confidence causes.
+func (w *Workflow) RunIA() error {
+	if w.Res.Facts == nil {
+		return fmt.Errorf("diag: Module IA requires Module SD")
+	}
+	ia, err := ImpactAnalysis(w.In, w.Res.APG, w.Res.CO, w.Res.Causes)
+	if err != nil {
+		return err
+	}
+	w.Res.IA = ia
+	return nil
+}
+
+// Diagnose is the one-call batch entry point.
+func Diagnose(in *Input) (*Result, error) {
+	w, err := NewWorkflow(in)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run()
+}
+
+// ToIncident converts a diagnosis into a confirmed incident for the
+// self-evolving symptoms-database loop (Section 7): once the
+// administrator confirms the root cause, the incident's facts feed the
+// miner, which proposes new codebook entries for expert review.
+func (r *Result) ToIncident(confirmedKind, subject string) (symptoms.Incident, error) {
+	if r.Facts == nil {
+		return symptoms.Incident{}, fmt.Errorf("diag: diagnosis has no facts (plan-change short circuit?)")
+	}
+	return symptoms.Incident{
+		Facts:     r.Facts,
+		CauseKind: confirmedKind,
+		Subject:   subject,
+	}, nil
+}
+
+// Render formats the diagnosis as the report an administrator reads.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIADS diagnosis for query %s\n", r.Query)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 40))
+	if r.PD == nil {
+		return b.String()
+	}
+	if r.PD.Changed {
+		b.WriteString("Module PD: plan CHANGED between satisfactory and unsatisfactory runs\n")
+		for _, d := range r.PD.Differences {
+			fmt.Fprintf(&b, "  - %s\n", d)
+		}
+		b.WriteString("Plan-change analysis:\n")
+		if len(r.PD.Causes) == 0 {
+			b.WriteString("  no candidate configuration/schema changes found in the log\n")
+		}
+		for _, c := range r.PD.Causes {
+			marker := " "
+			if c.Explains {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "  %s %s %s: %s\n", marker, c.Event.T.Clock(), c.Event.Kind, c.Detail)
+		}
+		return b.String()
+	}
+	b.WriteString("Module PD: same plan in satisfactory and unsatisfactory runs\n")
+	if r.CO != nil {
+		ops := make([]string, len(r.CO.COS))
+		for i, id := range r.CO.COS {
+			ops[i] = fmt.Sprintf("O%d(%.2f)", id, r.CO.ScoreOf(id))
+		}
+		fmt.Fprintf(&b, "Module CO: correlated operator set = {%s}\n", strings.Join(ops, ", "))
+	}
+	if r.DA != nil {
+		fmt.Fprintf(&b, "Module DA: %d correlated component metrics across %v\n",
+			len(r.DA.CCS), r.DA.Components())
+	}
+	if r.CR != nil {
+		if len(r.CR.CRS) == 0 {
+			b.WriteString("Module CR: record counts unchanged (data properties stable)\n")
+		} else {
+			fmt.Fprintf(&b, "Module CR: record-count changes on operators %v\n", r.CR.CRS)
+		}
+	}
+	if len(r.Causes) > 0 {
+		b.WriteString("Module SD: root-cause confidence\n")
+		for _, c := range r.Causes {
+			if c.Category == symptoms.Low {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	}
+	if r.IA != nil {
+		b.WriteString("Module IA: impact scores\n")
+		for _, item := range r.IA.Items {
+			fmt.Fprintf(&b, "  %-55s impact=%5.1f%% ops=%v\n",
+				item.Cause.String(), item.Score, item.Ops)
+		}
+	}
+	return b.String()
+}

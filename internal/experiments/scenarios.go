@@ -1,0 +1,258 @@
+// Package experiments contains the harnesses that regenerate every table
+// and figure of the paper's evaluation (Section 5) plus the ablations and
+// extension studies DESIGN.md indexes. Each experiment returns a value
+// with the measured results and a Render method producing the same rows
+// the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"diads/internal/dbsys"
+	"diads/internal/diag"
+	"diads/internal/faults"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/workload"
+)
+
+// ScenarioID identifies one experimental scenario.
+type ScenarioID int
+
+// The paper's five Table 1 scenarios plus the extension scenarios this
+// reproduction adds.
+const (
+	S1SANMisconfig ScenarioID = iota + 1
+	S2TwoPoolContention
+	S3DataPropertyChange
+	S4ConcurrentDBAndSAN
+	S5LockingWithNoise
+	SPlanRegression
+	SCPUSaturation
+	SDiskFailure
+	SRAIDRebuild
+)
+
+// scenarioRuns is the schedule length used by the scenarios.
+const scenarioRuns = 16
+
+// Scenario is one constructed, simulated, and labeled problem scenario.
+type Scenario struct {
+	ID          ScenarioID
+	Title       string
+	Description string
+	Testbed     *testbed.Testbed
+	Input       *diag.Input
+	// ExpectedKind and ExpectedSubject name the ground-truth root cause.
+	ExpectedKind    string
+	ExpectedSubject string
+	// AlsoKind and AlsoSubject name a second concurrent ground-truth
+	// cause (scenario 4); both must be identified with high confidence.
+	AlsoKind    string
+	AlsoSubject string
+	// CriticalModule names the module the paper highlights for the
+	// scenario (Table 1's right column).
+	CriticalModule string
+}
+
+// scheduleHorizon returns the end of the default scenario schedule.
+func scheduleHorizon() simtime.Time {
+	return simtime.Time(10*simtime.Minute) + simtime.Time(simtime.Duration(scenarioRuns)*30*simtime.Minute)
+}
+
+// faultOnset returns the scenario fault onset: just before the second
+// half of the schedule.
+func faultOnset() simtime.Time {
+	return simtime.Time(10*simtime.Minute) +
+		simtime.Time(simtime.Duration(scenarioRuns/2)*30*simtime.Minute) -
+		simtime.Time(5*simtime.Minute)
+}
+
+// newScenarioTestbed builds the Figure 1 testbed with the scenario
+// schedule.
+func newScenarioTestbed(seed int64) (*testbed.Testbed, error) {
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: simtime.Time(10 * simtime.Minute), Period: 30 * simtime.Minute, Count: scenarioRuns},
+	}
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, scheduleHorizon())
+	}
+	return tb, nil
+}
+
+// lockHolds builds exclusive-lock windows overlapping the second-half
+// runs.
+func lockHolds() []simtime.Interval {
+	var holds []simtime.Interval
+	for i := scenarioRuns / 2; i < scenarioRuns; i++ {
+		start := simtime.Time(10*simtime.Minute) + simtime.Time(simtime.Duration(i)*30*simtime.Minute)
+		holds = append(holds, simtime.NewInterval(start.Add(-30*simtime.Second), start.Add(90)))
+	}
+	return holds
+}
+
+// Build constructs, simulates, and labels a scenario.
+func Build(id ScenarioID, seed int64) (*Scenario, error) {
+	tb, err := newScenarioTestbed(seed)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{ID: id, Testbed: tb}
+	onset, horizon := faultOnset(), scheduleHorizon()
+
+	misconfig := &faults.SANMisconfiguration{
+		At: onset, Until: horizon, Pool: testbed.PoolP1,
+		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+		ReadIOPS: 450, WriteIOPS: 120,
+	}
+	v2Burst := &faults.ExternalVolumeLoad{
+		LoadName: "wl-v2-burst", Volume: testbed.VolV4,
+		Window:   simtime.NewInterval(onset, horizon),
+		ReadIOPS: 260, WriteIOPS: 120, DutyCycle: 0.35, Period: 10 * simtime.Minute,
+	}
+
+	switch id {
+	case S1SANMisconfig:
+		sc.Title = "SAN misconfiguration causing contention in V1"
+		sc.Description = "volume V' carved from P1, zoned and LUN-mapped to another host whose workload contends with V1"
+		sc.CriticalModule = "SD maps symptoms to the misconfiguration; identified symptoms pinpoint the correct volume"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseSANMisconfig, string(testbed.VolV1)
+		err = faults.Inject(tb, misconfig)
+	case S2TwoPoolContention:
+		sc.Title = "External contention on both pools; only P1's affects the query"
+		sc.Description = "heavy external workload on V3 (P1) plus bursty load on V4 (P2) that barely touches the query"
+		sc.CriticalModule = "DA prunes the unrelated symptoms and events for volume V2"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseExternalLoad, string(testbed.VolV1)
+		err = faults.Inject(tb,
+			&faults.ExternalVolumeLoad{
+				LoadName: "wl-v1-heavy", Volume: testbed.VolV3,
+				Window:   simtime.NewInterval(onset, horizon),
+				ReadIOPS: 450, WriteIOPS: 120, DutyCycle: 1,
+			},
+			v2Burst,
+		)
+	case S3DataPropertyChange:
+		sc.Title = "SQL DML causes a subtle change in data properties"
+		sc.Description = "bulk DML grows partsupp; extra I/O propagates to the SAN as apparent volume contention"
+		sc.CriticalModule = "CR identifies the record-count symptoms; IA rules out volume contention as root cause"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseDataProperty, dbsys.TPartsupp
+		err = faults.Inject(tb, &faults.DataPropertyChange{At: onset, Table: dbsys.TPartsupp, Factor: 1.8})
+	case S4ConcurrentDBAndSAN:
+		sc.Title = "Concurrent DB (data properties) and SAN (misconfiguration) problems"
+		sc.Description = "partsupp grows at the same time V' contends with V1"
+		sc.CriticalModule = "Both problems identified; IA ranks them"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseSANMisconfig, string(testbed.VolV1)
+		sc.AlsoKind, sc.AlsoSubject = symptoms.CauseDataProperty, dbsys.TPartsupp
+		err = faults.Inject(tb, misconfig,
+			&faults.DataPropertyChange{At: onset, Table: dbsys.TPartsupp, Factor: 1.6})
+	case S5LockingWithNoise:
+		sc.Title = "DB locking problem with spurious volume-contention symptoms"
+		sc.Description = "a batch transaction holds exclusive partsupp locks during runs; bursty V4 noise mimics contention"
+		sc.CriticalModule = "IA identifies volume contention as low impact"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseLockContention, dbsys.TPartsupp
+		err = faults.Inject(tb,
+			&faults.TableLockContention{Table: dbsys.TPartsupp, Holds: lockHolds(), Holder: "txn-batch"},
+			v2Burst,
+		)
+	case SPlanRegression:
+		sc.Title = "Plan regression after an index drop"
+		sc.Description = "partsupp_partkey_idx dropped by a maintenance script; the optimizer falls back to scans"
+		sc.CriticalModule = "PD detects the change and plan-change analysis pinpoints the drop"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CausePlanRegression, dbsys.IdxPartsuppPart
+		err = faults.Inject(tb, &faults.IndexDrop{At: onset, Index: dbsys.IdxPartsuppPart})
+	case SCPUSaturation:
+		sc.Title = "Database server CPU saturation"
+		sc.Description = "a competing process saturates the DB server's CPU"
+		sc.CriticalModule = "DA correlates server CPU; domain knowledge separates saturation from propagation"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseCPUSaturation, string(testbed.ServerDB)
+		err = faults.Inject(tb, &faults.CPUSaturation{
+			Server: testbed.ServerDB,
+			Window: simtime.NewInterval(onset, horizon), Load: 0.83,
+		})
+	case SDiskFailure:
+		sc.Title = "Disk failure in pool P1"
+		sc.Description = "disk-3 fails; survivors absorb its load while the rebuild adds traffic"
+		sc.CriticalModule = "SD matches the failure event; DA sees the pool's disks degrade"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseDiskFailure, string(testbed.PoolP1)
+		err = faults.Inject(tb, &faults.DiskFailure{
+			Disk: "disk-3", Window: simtime.NewInterval(onset, horizon), RebuildIntensity: 0.45,
+		})
+	case SRAIDRebuild:
+		sc.Title = "RAID rebuild interference in pool P1"
+		sc.Description = "a rebuild steals bandwidth from P1's disks"
+		sc.CriticalModule = "SD matches the rebuild event with its temporal condition"
+		sc.ExpectedKind, sc.ExpectedSubject = symptoms.CauseRAIDRebuild, string(testbed.PoolP1)
+		err = faults.Inject(tb, &faults.RAIDRebuild{
+			Pool: testbed.PoolP1, Window: simtime.NewInterval(onset, horizon), Intensity: 0.55,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown scenario %d", id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Simulate(); err != nil {
+		return nil, err
+	}
+	runs := tb.RunsFor("Q2")
+	sc.Input = &diag.Input{
+		Query: "Q2", Runs: runs, Satisfactory: diag.LabelAdaptive(runs, 1.6),
+		Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+		SymDB: symptoms.Builtin(),
+	}
+	return sc, nil
+}
+
+// Diagnose runs the workflow on the scenario and reports whether the top
+// cause matches the ground truth.
+func (sc *Scenario) Diagnose() (*diag.Result, bool, error) {
+	res, err := diag.Diagnose(sc.Input)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, sc.Correct(res), nil
+}
+
+// Correct reports whether the diagnosis identified the scenario's ground
+// truth.
+func (sc *Scenario) Correct(res *diag.Result) bool {
+	if sc.ExpectedKind == symptoms.CausePlanRegression {
+		if !res.PD.Changed {
+			return false
+		}
+		for _, c := range res.PD.Causes {
+			if c.Explains && string(c.Event.Subject) == sc.ExpectedSubject {
+				return true
+			}
+		}
+		return false
+	}
+	if sc.AlsoKind != "" {
+		// Concurrent problems: both causes must be identified with high
+		// confidence; Module IA ranks them.
+		return hasHighCause(res, sc.ExpectedKind, sc.ExpectedSubject) &&
+			hasHighCause(res, sc.AlsoKind, sc.AlsoSubject)
+	}
+	top, ok := res.TopCause()
+	if !ok {
+		return false
+	}
+	return top.Cause.Kind == sc.ExpectedKind && top.Cause.Subject == sc.ExpectedSubject
+}
+
+// hasHighCause reports whether the diagnosis contains the cause at high
+// confidence.
+func hasHighCause(res *diag.Result, kind, subject string) bool {
+	for _, c := range res.Causes {
+		if c.Kind == kind && c.Subject == subject && c.Category == symptoms.High {
+			return true
+		}
+	}
+	return false
+}

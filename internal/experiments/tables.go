@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"diads/internal/diag"
+	"diads/internal/faults"
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+)
+
+// Table1Row is one scenario's outcome in the Table 1 reproduction.
+type Table1Row struct {
+	Scenario   ScenarioID
+	Title      string
+	ModuleRole string
+	TopCause   string
+	Correct    bool
+}
+
+// Table1Result reproduces Table 1: the five experimental settings of
+// increasing complexity, each diagnosed end to end.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 runs the paper's five scenarios. DIADS must diagnose the root
+// cause correctly in all of them.
+func Table1(seed int64) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, id := range []ScenarioID{
+		S1SANMisconfig, S2TwoPoolContention, S3DataPropertyChange,
+		S4ConcurrentDBAndSAN, S5LockingWithNoise,
+	} {
+		sc, err := Build(id, seed+int64(id))
+		if err != nil {
+			return nil, err
+		}
+		diagRes, correct, err := sc.Diagnose()
+		if err != nil {
+			return nil, err
+		}
+		top := "none"
+		if item, ok := diagRes.TopCause(); ok {
+			top = item.Cause.String()
+		} else if diagRes.PD.Changed {
+			top = "plan change"
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Scenario:   id,
+			Title:      sc.Title,
+			ModuleRole: sc.CriticalModule,
+			TopCause:   top,
+			Correct:    correct,
+		})
+	}
+	return res, nil
+}
+
+// AllCorrect reports whether every scenario was diagnosed correctly.
+func (t *Table1Result) AllCorrect() bool {
+	for _, r := range t.Rows {
+		if !r.Correct {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the table like the paper's Table 1.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Experimental settings of increasing complexity used to evaluate DIADS\n")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, r := range t.Rows {
+		status := "OK"
+		if !r.Correct {
+			status = "MISSED"
+		}
+		fmt.Fprintf(&b, "%d. %-62s [%s]\n", r.Scenario, r.Title, status)
+		fmt.Fprintf(&b, "   critical module role: %s\n", r.ModuleRole)
+		fmt.Fprintf(&b, "   diagnosis: %s\n", r.TopCause)
+	}
+	return b.String()
+}
+
+// Table2Row is one (volume, metric) row of the Table 2 reproduction.
+type Table2Row struct {
+	Volume        string
+	Metric        metrics.Metric
+	NoContention  float64 // anomaly score without contention in V2
+	WithV2Burst   float64 // anomaly score with bursty contention in V2
+	PaperBaseline float64 // the paper's reported value, column 2
+	PaperBurst    float64 // the paper's reported value, column 3
+}
+
+// Table2Result reproduces Table 2: anomaly scores computed during
+// dependency analysis for performance metrics from volumes V1 and V2,
+// in the base scenario 1 and in its variant with extra bursty load on V2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs scenario 1 and its V2-burst variant, then reports Module
+// DA's anomaly scores for the four volume metrics the paper tabulates.
+func Table2(seed int64) (*Table2Result, error) {
+	base, err := Build(S1SANMisconfig, seed)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := diag.Diagnose(base.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	variant, err := Build(S1SANMisconfig, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Recreate the variant testbed with the extra V2-side burst: a fresh
+	// build is needed because a testbed simulates once.
+	variant, err = buildScenario1WithV2Burst(seed)
+	if err != nil {
+		return nil, err
+	}
+	variantRes, err := diag.Diagnose(variant.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	paper := map[string][2]float64{
+		"vol-V1/writeIO":   {0.894, 0.894},
+		"vol-V1/writeTime": {0.823, 0.823},
+		"vol-V2/writeIO":   {0.063, 0.512},
+		"vol-V2/writeTime": {0.479, 0.879},
+	}
+	res := &Table2Result{}
+	for _, vol := range []string{string(testbed.VolV1), string(testbed.VolV2)} {
+		for _, m := range []metrics.Metric{metrics.VolWriteIO, metrics.VolWriteTime} {
+			key := vol + "/" + string(m)
+			res.Rows = append(res.Rows, Table2Row{
+				Volume:        vol,
+				Metric:        m,
+				NoContention:  scoreOrProbe(baseRes, base.Input, vol, m),
+				WithV2Burst:   scoreOrProbe(variantRes, variant.Input, vol, m),
+				PaperBaseline: paper[key][0],
+				PaperBurst:    paper[key][1],
+			})
+		}
+	}
+	return res, nil
+}
+
+// scoreOrProbe returns Module DA's score for the pair; if DA did not
+// evaluate the component (it was not on any correlated operator's
+// dependency path), the score is probed directly so the table always has
+// all four rows, exactly as the paper reports scores for V2 even when V2
+// is not implicated.
+func scoreOrProbe(res *diag.Result, in *diag.Input, component string, m metrics.Metric) float64 {
+	if s := res.DA.ScoreOf(component, m); s > 0 {
+		return s
+	}
+	s, _ := diag.ProbeMetricScore(in, component, m)
+	return s
+}
+
+// buildScenario1WithV2Burst constructs scenario 1 plus the paper's "extra
+// I/O load on Volume V2 in a bursty manner" robustness variant.
+func buildScenario1WithV2Burst(seed int64) (*Scenario, error) {
+	tb, err := newScenarioTestbed(seed)
+	if err != nil {
+		return nil, err
+	}
+	onset, horizon := faultOnset(), scheduleHorizon()
+	err = faults.Inject(tb,
+		&faults.SANMisconfiguration{
+			At: onset, Until: horizon, Pool: testbed.PoolP1,
+			NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+			ReadIOPS: 450, WriteIOPS: 120,
+		},
+		&faults.ExternalVolumeLoad{
+			LoadName: "wl-v2-burst", Volume: testbed.VolV4,
+			Window:   simtime.NewInterval(onset, horizon),
+			ReadIOPS: 260, WriteIOPS: 160, DutyCycle: 0.35, Period: 10 * simtime.Minute,
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Simulate(); err != nil {
+		return nil, err
+	}
+	runs := tb.RunsFor("Q2")
+	return &Scenario{
+		ID: S1SANMisconfig, Title: "scenario 1 + bursty V2 load",
+		Testbed:      tb,
+		ExpectedKind: symptoms.CauseSANMisconfig, ExpectedSubject: string(testbed.VolV1),
+		Input: &diag.Input{
+			Query: "Q2", Runs: runs, Satisfactory: diag.LabelAdaptive(runs, 1.6),
+			Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+			Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+			SymDB: symptoms.Builtin(),
+		},
+	}, nil
+}
+
+// Render formats the table like the paper's Table 2.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Anomaly scores computed during dependency analysis (paper values in parentheses)\n")
+	fmt.Fprintf(&b, "%-22s %-28s %-28s\n", "Volume, Perf. Metric",
+		"Score (no contention in V2)", "Score (contention in V2)")
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s %7.3f  (paper %.3f)%10.3f  (paper %.3f)\n",
+			r.Volume+", "+string(r.Metric), r.NoContention, r.PaperBaseline,
+			r.WithV2Burst, r.PaperBurst)
+	}
+	return b.String()
+}

@@ -1,0 +1,326 @@
+// Package faults is the fault injector of the reproduction, standing in
+// for the paper's testbed fault injector (Section 6, footnote 1): it can
+// inject SAN misconfigurations, volume and server contention, RAID
+// rebuilds, disk failures, changes in data properties, table-locking
+// problems, and plan-changing schema/configuration events. Faults are
+// applied to a testbed before Simulate and record the configuration
+// events a real environment would log.
+package faults
+
+import (
+	"fmt"
+
+	"diads/internal/dbsys"
+	"diads/internal/sanperf"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/topology"
+	"diads/internal/workload"
+)
+
+// Fault is one injectable problem. GroundTruth names the root cause a
+// correct diagnosis should identify, as a symptoms-database cause kind
+// plus subject.
+type Fault interface {
+	Name() string
+	Apply(tb *testbed.Testbed) error
+	GroundTruth() (kind, subject string)
+}
+
+// SANMisconfiguration reproduces scenario 1: a new volume V' is carved
+// from the pool backing one of the query's volumes and zoned/LUN-mapped
+// to another host, whose workload then contends for the same physical
+// disks.
+type SANMisconfiguration struct {
+	// At is when the misconfiguration happens.
+	At simtime.Time
+	// Until bounds the contending workload (use the simulation end).
+	Until simtime.Time
+	// Pool is the victim pool (P1 in the paper).
+	Pool topology.ID
+	// NewVolume is the created volume's ID (V').
+	NewVolume topology.ID
+	// Host is the server the volume is mapped to.
+	Host topology.ID
+	// ReadIOPS and WriteIOPS describe the contending workload.
+	ReadIOPS, WriteIOPS float64
+}
+
+// Name implements Fault.
+func (f *SANMisconfiguration) Name() string { return "san-misconfiguration" }
+
+// GroundTruth implements Fault: the root cause is the misconfiguration's
+// contention on the volume sharing the pool — the diagnosis subject is
+// the victim volume, resolved at Apply time.
+func (f *SANMisconfiguration) GroundTruth() (string, string) {
+	return symptoms.CauseSANMisconfig, "" // subject resolved per victim volume
+}
+
+// Apply implements Fault.
+func (f *SANMisconfiguration) Apply(tb *testbed.Testbed) error {
+	if err := tb.Cfg.AddVolume(f.NewVolume, f.Pool, "V'", 80); err != nil {
+		return fmt.Errorf("faults: creating %s: %w", f.NewVolume, err)
+	}
+	if err := tb.Cfg.MapLUN(f.NewVolume, f.Host); err != nil {
+		return fmt.Errorf("faults: mapping %s: %w", f.NewVolume, err)
+	}
+	log := &tb.Cfg.Log
+	log.Record(topology.Event{T: f.At, Kind: topology.EvVolumeCreated, Subject: f.NewVolume,
+		Detail: fmt.Sprintf("volume V' created in %s", f.Pool)})
+	log.Record(topology.Event{T: f.At.Add(30 * simtime.Second), Kind: topology.EvZoneCreated, Subject: f.NewVolume,
+		Detail: fmt.Sprintf("zoning for host %s", f.Host)})
+	log.Record(topology.Event{T: f.At.Add(time1m()), Kind: topology.EvLUNMapped, Subject: f.NewVolume,
+		Detail: fmt.Sprintf("LUN mapped to host %s", f.Host)})
+	log.Record(topology.Event{T: f.At.Add(2 * time1m()), Kind: topology.EvWorkloadStarted, Subject: f.NewVolume,
+		Detail: "external workload started on V'"})
+	tb.SAN.AddLoad(sanperf.Load{
+		Volume:    f.NewVolume,
+		Iv:        simtime.NewInterval(f.At.Add(2*time1m()), f.Until),
+		ReadIOPS:  f.ReadIOPS,
+		WriteIOPS: f.WriteIOPS,
+		SeqFrac:   0.1,
+		Source:    "wl-vprime",
+	})
+	return nil
+}
+
+func time1m() simtime.Duration { return simtime.Minute }
+
+// ExternalVolumeLoad reproduces scenario 2's external workloads: extra
+// I/O against an existing volume, optionally bursty, with no
+// configuration change.
+type ExternalVolumeLoad struct {
+	LoadName  string
+	Volume    topology.ID
+	Window    simtime.Interval
+	ReadIOPS  float64
+	WriteIOPS float64
+	// DutyCycle < 1 with a Period makes the load bursty.
+	DutyCycle float64
+	Period    simtime.Duration
+}
+
+// Name implements Fault.
+func (f *ExternalVolumeLoad) Name() string { return "external-volume-load" }
+
+// GroundTruth implements Fault.
+func (f *ExternalVolumeLoad) GroundTruth() (string, string) {
+	return symptoms.CauseExternalLoad, string(f.Volume)
+}
+
+// Apply implements Fault.
+func (f *ExternalVolumeLoad) Apply(tb *testbed.Testbed) error {
+	el := workload.ExternalLoad{
+		Name:      f.LoadName,
+		Volume:    f.Volume,
+		Window:    f.Window,
+		ReadIOPS:  f.ReadIOPS,
+		WriteIOPS: f.WriteIOPS,
+		SeqFrac:   0.2,
+		DutyCycle: f.DutyCycle,
+		Period:    f.Period,
+	}
+	for _, seg := range el.Segments() {
+		tb.SAN.AddLoad(seg)
+	}
+	tb.Cfg.Log.Record(topology.Event{
+		T: f.Window.Start, Kind: topology.EvWorkloadStarted, Subject: f.Volume,
+		Detail: fmt.Sprintf("external workload %s", f.LoadName),
+	})
+	return nil
+}
+
+// DataPropertyChange reproduces scenario 3: a bulk DML shifts a table's
+// cardinality; the effect propagates to the SAN as extra I/O.
+type DataPropertyChange struct {
+	At     simtime.Time
+	Table  string
+	Factor float64
+}
+
+// Name implements Fault.
+func (f *DataPropertyChange) Name() string { return "data-property-change" }
+
+// GroundTruth implements Fault.
+func (f *DataPropertyChange) GroundTruth() (string, string) {
+	return symptoms.CauseDataProperty, f.Table
+}
+
+// Apply implements Fault.
+func (f *DataPropertyChange) Apply(tb *testbed.Testbed) error {
+	tb.DMLs = append(tb.DMLs, workload.DMLBatch{T: f.At, Table: f.Table, Factor: f.Factor})
+	return nil
+}
+
+// TableLockContention reproduces scenario 5's database-side problem: an
+// external transaction holds exclusive table locks during query runs.
+type TableLockContention struct {
+	Table  string
+	Holds  []simtime.Interval
+	Holder string
+}
+
+// Name implements Fault.
+func (f *TableLockContention) Name() string { return "table-lock-contention" }
+
+// GroundTruth implements Fault.
+func (f *TableLockContention) GroundTruth() (string, string) {
+	return symptoms.CauseLockContention, f.Table
+}
+
+// Apply implements Fault.
+func (f *TableLockContention) Apply(tb *testbed.Testbed) error {
+	if len(f.Holds) == 0 {
+		return fmt.Errorf("faults: lock contention needs at least one hold")
+	}
+	for _, iv := range f.Holds {
+		tb.Locks.AddHold(dbsys.Hold{
+			Table: f.Table, Iv: iv, Mode: dbsys.LockExclusive, Holder: f.Holder,
+		})
+	}
+	return nil
+}
+
+// RAIDRebuild steals disk bandwidth from every disk of a pool.
+type RAIDRebuild struct {
+	Pool      topology.ID
+	Window    simtime.Interval
+	Intensity float64 // extra utilization per disk, e.g. 0.5
+}
+
+// Name implements Fault.
+func (f *RAIDRebuild) Name() string { return "raid-rebuild" }
+
+// GroundTruth implements Fault.
+func (f *RAIDRebuild) GroundTruth() (string, string) {
+	return symptoms.CauseRAIDRebuild, string(f.Pool)
+}
+
+// Apply implements Fault.
+func (f *RAIDRebuild) Apply(tb *testbed.Testbed) error {
+	disks := tb.Cfg.ChildrenOfKind(f.Pool, topology.KindDisk)
+	if len(disks) == 0 {
+		return fmt.Errorf("faults: pool %s has no disks", f.Pool)
+	}
+	for _, d := range disks {
+		tb.SAN.AddDiskUtilization(d, f.Window, f.Intensity, "raid-rebuild")
+	}
+	tb.Cfg.Log.Record(topology.Event{T: f.Window.Start, Kind: topology.EvRAIDRebuildStart,
+		Subject: f.Pool, Detail: "RAID rebuild started"})
+	tb.Cfg.Log.Record(topology.Event{T: f.Window.End, Kind: topology.EvRAIDRebuildDone,
+		Subject: f.Pool, Detail: "RAID rebuild completed"})
+	return nil
+}
+
+// DiskFailure takes a disk out of service; the survivors absorb its load
+// while a rebuild adds background traffic.
+type DiskFailure struct {
+	Disk   topology.ID
+	Window simtime.Interval
+	// RebuildIntensity is the extra utilization on surviving disks.
+	RebuildIntensity float64
+}
+
+// Name implements Fault.
+func (f *DiskFailure) Name() string { return "disk-failure" }
+
+// GroundTruth implements Fault.
+func (f *DiskFailure) GroundTruth() (string, string) {
+	return symptoms.CauseDiskFailure, "" // subject is the pool, resolved at Apply
+}
+
+// Apply implements Fault.
+func (f *DiskFailure) Apply(tb *testbed.Testbed) error {
+	pool := tb.Cfg.PoolOf(f.Disk)
+	if pool == "" {
+		return fmt.Errorf("faults: disk %s has no pool", f.Disk)
+	}
+	tb.SAN.FailDisk(f.Disk, f.Window, "disk-failure")
+	for _, d := range tb.Cfg.ChildrenOfKind(pool, topology.KindDisk) {
+		if d == f.Disk {
+			continue
+		}
+		tb.SAN.AddDiskUtilization(d, f.Window, f.RebuildIntensity, "rebuild-after-failure")
+	}
+	tb.Cfg.Log.Record(topology.Event{T: f.Window.Start, Kind: topology.EvDiskFailed,
+		Subject: f.Disk, Detail: "disk failed"})
+	tb.Cfg.Log.Record(topology.Event{T: f.Window.Start.Add(time1m()), Kind: topology.EvRAIDRebuildStart,
+		Subject: pool, Detail: "rebuild after disk failure"})
+	return nil
+}
+
+// CPUSaturation loads the database server's CPU.
+type CPUSaturation struct {
+	Server topology.ID
+	Window simtime.Interval
+	Load   float64 // utilization fraction, e.g. 0.7
+}
+
+// Name implements Fault.
+func (f *CPUSaturation) Name() string { return "cpu-saturation" }
+
+// GroundTruth implements Fault.
+func (f *CPUSaturation) GroundTruth() (string, string) {
+	return symptoms.CauseCPUSaturation, string(f.Server)
+}
+
+// Apply implements Fault.
+func (f *CPUSaturation) Apply(tb *testbed.Testbed) error {
+	tb.CPULoad.Add("cpu", f.Window, f.Load, "cpu-hog")
+	return nil
+}
+
+// IndexDrop removes an index mid-simulation, causing a plan regression
+// Module PD should attribute.
+type IndexDrop struct {
+	At    simtime.Time
+	Index string
+}
+
+// Name implements Fault.
+func (f *IndexDrop) Name() string { return "index-drop" }
+
+// GroundTruth implements Fault.
+func (f *IndexDrop) GroundTruth() (string, string) {
+	return symptoms.CausePlanRegression, f.Index
+}
+
+// Apply implements Fault.
+func (f *IndexDrop) Apply(tb *testbed.Testbed) error {
+	tb.IndexDrops = append(tb.IndexDrops, workload.ScheduledIndexDrop{T: f.At, Index: f.Index})
+	return nil
+}
+
+// ParamChange alters a configuration parameter mid-simulation.
+type ParamChange struct {
+	At    simtime.Time
+	Param string
+	Value float64
+}
+
+// Name implements Fault.
+func (f *ParamChange) Name() string { return "param-change" }
+
+// GroundTruth implements Fault.
+func (f *ParamChange) GroundTruth() (string, string) {
+	return symptoms.CausePlanRegression, f.Param
+}
+
+// Apply implements Fault.
+func (f *ParamChange) Apply(tb *testbed.Testbed) error {
+	tb.ParamChanges = append(tb.ParamChanges, workload.ScheduledParamChange{
+		T: f.At, Param: f.Param, Value: f.Value,
+	})
+	return nil
+}
+
+// Inject applies a sequence of faults to the testbed.
+func Inject(tb *testbed.Testbed, fs ...Fault) error {
+	for _, f := range fs {
+		if err := f.Apply(tb); err != nil {
+			return fmt.Errorf("faults: applying %s: %w", f.Name(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"testing"
+
+	"diads/internal/dbsys"
+	"diads/internal/simtime"
+	"diads/internal/testbed"
+	"diads/internal/topology"
+	"diads/internal/workload"
+)
+
+func newTB(t *testing.T, seed int64) *testbed.Testbed {
+	t.Helper()
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: simtime.Time(10 * simtime.Minute), Period: 30 * simtime.Minute, Count: 4},
+	}
+	horizon := simtime.Time(10*simtime.Minute) + simtime.Time(4*30*simtime.Minute)
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	return tb
+}
+
+func TestSANMisconfigurationCreatesVolumeAndEvents(t *testing.T) {
+	tb := newTB(t, 1)
+	f := &SANMisconfiguration{
+		At: 1000, Until: 100000, Pool: testbed.PoolP1,
+		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+		ReadIOPS: 300, WriteIOPS: 100,
+	}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Cfg.Get("vol-Vp"); !ok {
+		t.Fatalf("V' not created")
+	}
+	if !tb.Cfg.LUNVisible("vol-Vp", testbed.ServerApp1) {
+		t.Fatalf("V' not mapped")
+	}
+	for _, kind := range []topology.EventKind{
+		topology.EvVolumeCreated, topology.EvZoneCreated,
+		topology.EvLUNMapped, topology.EvWorkloadStarted,
+	} {
+		if len(tb.Cfg.Log.OfKind(kind)) != 1 {
+			t.Errorf("missing %s event", kind)
+		}
+	}
+	if got := tb.SAN.VolumeReadIOPS("vol-Vp", 2000); got != 300 {
+		t.Fatalf("V' load not applied: %v", got)
+	}
+	// Idempotence violation is an error: applying twice recreates V'.
+	if err := f.Apply(tb); err == nil {
+		t.Fatalf("double apply should fail on duplicate volume")
+	}
+}
+
+func TestExternalVolumeLoadBursts(t *testing.T) {
+	tb := newTB(t, 2)
+	f := &ExternalVolumeLoad{
+		LoadName: "wl", Volume: testbed.VolV4,
+		Window:   simtime.NewInterval(0, 1000),
+		ReadIOPS: 100, DutyCycle: 0.5, Period: 200,
+	}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.SAN.VolumeReadIOPS(testbed.VolV4, 50); got != 100 {
+		t.Fatalf("burst on-phase: %v", got)
+	}
+	if got := tb.SAN.VolumeReadIOPS(testbed.VolV4, 150); got != 0 {
+		t.Fatalf("burst off-phase: %v", got)
+	}
+	kind, subject := f.GroundTruth()
+	if kind == "" || subject != string(testbed.VolV4) {
+		t.Fatalf("ground truth: %s %s", kind, subject)
+	}
+}
+
+func TestDataPropertyChangeSchedulesDML(t *testing.T) {
+	tb := newTB(t, 3)
+	f := &DataPropertyChange{At: 500, Table: dbsys.TPartsupp, Factor: 1.5}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.DMLs) != 1 || tb.DMLs[0].Factor != 1.5 {
+		t.Fatalf("DML not scheduled: %+v", tb.DMLs)
+	}
+}
+
+func TestTableLockContentionRequiresHolds(t *testing.T) {
+	tb := newTB(t, 4)
+	if err := (&TableLockContention{Table: dbsys.TPartsupp}).Apply(tb); err == nil {
+		t.Fatalf("no holds should error")
+	}
+	f := &TableLockContention{
+		Table: dbsys.TPartsupp,
+		Holds: []simtime.Interval{simtime.NewInterval(100, 200)},
+	}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	if w := tb.Locks.WaitTime(dbsys.TPartsupp, 150); w != 50 {
+		t.Fatalf("lock wait: %v", w)
+	}
+}
+
+func TestRAIDRebuildLoadsAllPoolDisks(t *testing.T) {
+	tb := newTB(t, 5)
+	f := &RAIDRebuild{Pool: testbed.PoolP1, Window: simtime.NewInterval(0, 100), Intensity: 0.4}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range tb.Cfg.ChildrenOfKind(testbed.PoolP1, topology.KindDisk) {
+		if u := tb.SAN.DiskUtilization(d, 50); u < 0.4 {
+			t.Errorf("disk %s rebuild load missing: %v", d, u)
+		}
+	}
+	if len(tb.Cfg.Log.OfKind(topology.EvRAIDRebuildStart)) != 1 ||
+		len(tb.Cfg.Log.OfKind(topology.EvRAIDRebuildDone)) != 1 {
+		t.Fatalf("rebuild events missing")
+	}
+	if err := (&RAIDRebuild{Pool: "no-such-pool", Window: simtime.NewInterval(0, 1)}).Apply(tb); err == nil {
+		t.Fatalf("unknown pool should error")
+	}
+}
+
+func TestDiskFailureShiftsLoadAndLogs(t *testing.T) {
+	tb := newTB(t, 6)
+	f := &DiskFailure{Disk: "disk-2", Window: simtime.NewInterval(100, 200), RebuildIntensity: 0.3}
+	if err := Inject(tb, f); err != nil {
+		t.Fatal(err)
+	}
+	if u := tb.SAN.DiskUtilization("disk-2", 150); u != 1 {
+		t.Fatalf("failed disk should read saturated: %v", u)
+	}
+	if u := tb.SAN.DiskUtilization("disk-1", 150); u < 0.3 {
+		t.Fatalf("survivor should carry rebuild load: %v", u)
+	}
+	if len(tb.Cfg.Log.OfKind(topology.EvDiskFailed)) != 1 {
+		t.Fatalf("DiskFailed event missing")
+	}
+	if err := (&DiskFailure{Disk: "no-such-disk", Window: simtime.NewInterval(0, 1)}).Apply(tb); err == nil {
+		t.Fatalf("unknown disk should error")
+	}
+}
+
+func TestCPUSaturationAndScheduledChanges(t *testing.T) {
+	tb := newTB(t, 7)
+	err := Inject(tb,
+		&CPUSaturation{Server: testbed.ServerDB, Window: simtime.NewInterval(0, 100), Load: 0.7},
+		&IndexDrop{At: 50, Index: dbsys.IdxPartsuppPart},
+		&ParamChange{At: 60, Param: dbsys.ParamRandomPageCost, Value: 40},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.CPULoad.At("cpu", 50); got != 0.7 {
+		t.Fatalf("cpu load: %v", got)
+	}
+	if len(tb.IndexDrops) != 1 || len(tb.ParamChanges) != 1 {
+		t.Fatalf("scheduled changes missing")
+	}
+}
+
+func TestGroundTruthsNamedForAllFaults(t *testing.T) {
+	fs := []Fault{
+		&SANMisconfiguration{}, &ExternalVolumeLoad{}, &DataPropertyChange{},
+		&TableLockContention{}, &RAIDRebuild{}, &DiskFailure{},
+		&CPUSaturation{}, &IndexDrop{}, &ParamChange{},
+	}
+	for _, f := range fs {
+		kind, _ := f.GroundTruth()
+		if kind == "" {
+			t.Errorf("%s has no ground-truth kind", f.Name())
+		}
+		if f.Name() == "" {
+			t.Errorf("%T has no name", f)
+		}
+	}
+}

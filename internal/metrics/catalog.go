@@ -1,0 +1,121 @@
+// Package metrics provides the monitoring substrate of the DIADS
+// reproduction: the catalog of performance metrics collected from the
+// database and the SAN (Figure 4 of the paper), a time-series store
+// standing in for the management tool's DB2 repository, and a sampler
+// that reproduces the coarse, noisy monitoring of production
+// environments (5-minute interval averages).
+package metrics
+
+// Metric identifies one performance attribute collected from a component.
+type Metric string
+
+// Layer classifies metrics by where they are collected, matching the four
+// column groups of Figure 4.
+type Layer string
+
+// Metric layers.
+const (
+	LayerDatabase Layer = "Database"
+	LayerServer   Layer = "Server"
+	LayerNetwork  Layer = "Network"
+	LayerStorage  Layer = "Storage"
+)
+
+// Database metrics (Figure 4, first column). Operator- and plan-level
+// start/stop times and record counts are stored per run rather than as
+// time series; the remaining database metrics are sampled series.
+const (
+	DBLocksHeld       Metric = "Locks Held"
+	DBLockWaitTime    Metric = "Lock Wait Time"
+	DBSpaceUsage      Metric = "Space Usage"
+	DBBlocksRead      Metric = "Blocks Read"
+	DBBufferHits      Metric = "Buffer Hits"
+	DBIndexScans      Metric = "Index Scans"
+	DBIndexReads      Metric = "Index Reads"
+	DBIndexFetches    Metric = "Index Fetches"
+	DBSequentialScans Metric = "Sequential Scans"
+)
+
+// Server metrics (Figure 4, second column).
+const (
+	SrvCPUUsagePct      Metric = "CPU Usage (%ge)"
+	SrvCPUUsageMhz      Metric = "CPU Usage (Mhz)"
+	SrvHandles          Metric = "Handles"
+	SrvThreads          Metric = "Threads"
+	SrvProcesses        Metric = "Processes"
+	SrvHeapMemoryKB     Metric = "Heap Memory Usage(KB)"
+	SrvPhysMemoryPct    Metric = "Physical Memory Usage (%)"
+	SrvKernelMemoryKB   Metric = "Kernel Memory(KB)"
+	SrvSwappedMemoryKB  Metric = "Memory Being Swapped(KB)"
+	SrvReservedMemoryKB Metric = "Reserved Memory Capacity(KB)"
+)
+
+// Network (FC fabric) metrics (Figure 4, third column).
+const (
+	NetBytesTransmitted   Metric = "Bytes Transmitted"
+	NetBytesReceived      Metric = "Bytes Received"
+	NetPacketsTransmitted Metric = "Packets Transmitted"
+	NetPacketsReceived    Metric = "Packets Received"
+	NetLIPCount           Metric = "LIP Count"
+	NetNOSCount           Metric = "NOS Count"
+	NetErrorFrames        Metric = "Error Frames"
+	NetDumpedFrames       Metric = "Dumped Frames"
+	NetLinkFailures       Metric = "Link Failures"
+	NetCRCErrors          Metric = "CRC Errors"
+	NetAddressErrors      Metric = "Address Errors"
+)
+
+// Storage metrics (Figure 4, fourth column), plus the per-volume read/write
+// rate and response-time metrics that Table 2 of the paper reports anomaly
+// scores for (readIO, writeIO, readTime, writeTime).
+const (
+	StBytesRead          Metric = "Bytes Read"
+	StBytesWritten       Metric = "Bytes Written"
+	StContaminatingWr    Metric = "Contaminating Writes"
+	StPhysReadOps        Metric = "PhysicalStorageRead Operations"
+	StPhysReadTime       Metric = "Physical Storage Read Time"
+	StPhysWriteOps       Metric = "PhysicalStorageWriteOperations"
+	StPhysWriteTime      Metric = "Physical Storage Write Time"
+	StSeqReadRequests    Metric = "Sequential Read Requests"
+	StSeqWriteRequests   Metric = "Sequential Write Requests"
+	StTotalIOs           Metric = "Total IOs"
+	VolReadIO            Metric = "readIO"
+	VolWriteIO           Metric = "writeIO"
+	VolReadTime          Metric = "readTime"
+	VolWriteTime         Metric = "writeTime"
+	VolSequentialReadHit Metric = "Sequential Read Hits"
+)
+
+// Catalog returns every metric DIADS collects, grouped by layer, in the
+// order of Figure 4. Experiment E10 regenerates Figure 4 from it.
+func Catalog() map[Layer][]Metric {
+	return map[Layer][]Metric{
+		LayerDatabase: {
+			DBLocksHeld, DBLockWaitTime, DBSpaceUsage, DBBlocksRead,
+			DBBufferHits, DBIndexScans, DBIndexReads, DBIndexFetches,
+			DBSequentialScans,
+		},
+		LayerServer: {
+			SrvCPUUsagePct, SrvCPUUsageMhz, SrvHandles, SrvThreads,
+			SrvProcesses, SrvHeapMemoryKB, SrvPhysMemoryPct,
+			SrvKernelMemoryKB, SrvSwappedMemoryKB, SrvReservedMemoryKB,
+		},
+		LayerNetwork: {
+			NetBytesTransmitted, NetBytesReceived, NetPacketsTransmitted,
+			NetPacketsReceived, NetLIPCount, NetNOSCount, NetErrorFrames,
+			NetDumpedFrames, NetLinkFailures, NetCRCErrors, NetAddressErrors,
+		},
+		LayerStorage: {
+			StBytesRead, StBytesWritten, StContaminatingWr, StPhysReadOps,
+			StPhysReadTime, StPhysWriteOps, StPhysWriteTime,
+			StSeqReadRequests, StSeqWriteRequests, StTotalIOs,
+			VolReadIO, VolWriteIO, VolReadTime, VolWriteTime,
+			VolSequentialReadHit,
+		},
+	}
+}
+
+// Layers returns the catalog layers in Figure 4's column order.
+func Layers() []Layer {
+	return []Layer{LayerDatabase, LayerServer, LayerNetwork, LayerStorage}
+}

@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diads/internal/simtime"
+)
+
+func TestCatalogMatchesFigure4(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog should have 4 layers, got %d", len(cat))
+	}
+	// Spot-check the metrics the paper names explicitly.
+	wantStorage := []Metric{StBytesRead, StBytesWritten, StTotalIOs, VolWriteIO, VolWriteTime}
+	for _, m := range wantStorage {
+		if !containsMetric(cat[LayerStorage], m) {
+			t.Errorf("storage layer missing %q", m)
+		}
+	}
+	if !containsMetric(cat[LayerServer], SrvCPUUsagePct) {
+		t.Errorf("server layer missing CPU usage")
+	}
+	if !containsMetric(cat[LayerNetwork], NetCRCErrors) {
+		t.Errorf("network layer missing CRC errors")
+	}
+	if !containsMetric(cat[LayerDatabase], DBBufferHits) {
+		t.Errorf("database layer missing buffer hits")
+	}
+	for _, l := range Layers() {
+		if len(cat[l]) == 0 {
+			t.Errorf("layer %s empty", l)
+		}
+	}
+}
+
+func containsMetric(ms []Metric, m Metric) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStoreAppendAndWindow(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.MustAppend("vol-V1", VolWriteIO, Sample{T: simtime.Time(i * 300), V: float64(i)})
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len: got %d", s.Len())
+	}
+	w := s.Window("vol-V1", VolWriteIO, simtime.NewInterval(600, 1500))
+	if len(w) != 3 {
+		t.Fatalf("window [600,1500): got %d samples, want 3", len(w))
+	}
+	if w[0].V != 2 || w[2].V != 4 {
+		t.Fatalf("window content wrong: %+v", w)
+	}
+	mean, n := s.WindowMean("vol-V1", VolWriteIO, simtime.NewInterval(600, 1500))
+	if n != 3 || mean != 3 {
+		t.Fatalf("WindowMean: got mean=%v n=%d", mean, n)
+	}
+}
+
+func TestStoreRejectsOutOfOrder(t *testing.T) {
+	s := NewStore()
+	s.MustAppend("c", VolReadIO, Sample{T: 100, V: 1})
+	if err := s.Append("c", VolReadIO, Sample{T: 50, V: 2}); err == nil {
+		t.Fatalf("out-of-order append should fail")
+	}
+}
+
+func TestStoreEmptyWindow(t *testing.T) {
+	s := NewStore()
+	if w := s.Window("missing", VolReadIO, simtime.NewInterval(0, 100)); len(w) != 0 {
+		t.Fatalf("missing series should yield empty window")
+	}
+	mean, n := s.WindowMean("missing", VolReadIO, simtime.NewInterval(0, 100))
+	if mean != 0 || n != 0 {
+		t.Fatalf("missing series mean should be (0,0)")
+	}
+}
+
+func TestStoreKeysDeterministic(t *testing.T) {
+	s := NewStore()
+	s.MustAppend("b", VolReadIO, Sample{T: 1, V: 1})
+	s.MustAppend("a", VolWriteIO, Sample{T: 1, V: 1})
+	s.MustAppend("a", VolReadIO, Sample{T: 1, V: 1})
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	if keys[0].Component != "a" || keys[0].Metric != VolReadIO {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	comps := s.Components()
+	if len(comps) != 2 || comps[0] != "a" || comps[1] != "b" {
+		t.Fatalf("Components: %v", comps)
+	}
+	if ms := s.MetricsFor("a"); len(ms) != 2 {
+		t.Fatalf("MetricsFor(a): %v", ms)
+	}
+}
+
+func TestSamplerAveragesConstant(t *testing.T) {
+	s := NewStore()
+	sp := NewSampler(0, nil)
+	iv := simtime.NewInterval(0, simtime.Time(30*simtime.Minute))
+	sp.Record(s, "vol", VolWriteIO, iv, func(simtime.Time) float64 { return 42 })
+	ser := s.Series("vol", VolWriteIO)
+	if len(ser) != 6 {
+		t.Fatalf("30 min / 5 min: want 6 samples, got %d", len(ser))
+	}
+	for _, smp := range ser {
+		if math.Abs(smp.V-42) > 1e-9 {
+			t.Fatalf("constant fn should average to itself, got %v", smp.V)
+		}
+	}
+}
+
+func TestSamplerAveragesOutBursts(t *testing.T) {
+	// A 30-second burst of 100 inside a 5-minute interval of baseline 10
+	// must be smeared to roughly 10 + 100*(30/300) = 19: the paper's "noisy
+	// data" effect where instantaneous spikes get averaged out.
+	s := NewStore()
+	sp := NewSampler(0, nil)
+	iv := simtime.NewInterval(0, simtime.Time(5*simtime.Minute))
+	fn := func(t simtime.Time) float64 {
+		if t >= 60 && t < 90 {
+			return 110
+		}
+		return 10
+	}
+	sp.Record(s, "vol", VolWriteIO, iv, fn)
+	ser := s.Series("vol", VolWriteIO)
+	if len(ser) != 1 {
+		t.Fatalf("want 1 sample, got %d", len(ser))
+	}
+	if math.Abs(ser[0].V-20) > 1.0 {
+		t.Fatalf("burst should be averaged to ~20, got %v", ser[0].V)
+	}
+}
+
+func TestSamplerNoiseIsDeterministic(t *testing.T) {
+	run := func() []Sample {
+		s := NewStore()
+		sp := NewSampler(0.1, simtime.NewRand(5, "sampler"))
+		iv := simtime.NewInterval(0, simtime.Time(time30()))
+		sp.Record(s, "v", VolReadTime, iv, func(simtime.Time) float64 { return 5 })
+		return s.Series("v", VolReadTime)
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("bad series lengths %d %d", len(a), len(b))
+	}
+	noisy := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must give identical noisy samples")
+		}
+		if math.Abs(a[i].V-5) > 1e-12 {
+			noisy = true
+		}
+	}
+	if !noisy {
+		t.Fatalf("noise sigma 0.1 should perturb samples")
+	}
+}
+
+func time30() simtime.Duration { return 30 * simtime.Minute }
+
+func TestSamplerPartialTrailingInterval(t *testing.T) {
+	s := NewStore()
+	sp := NewSampler(0, nil)
+	// 7 minutes of data with 5-minute intervals: one full + one partial.
+	iv := simtime.NewInterval(0, simtime.Time(7*simtime.Minute))
+	sp.Record(s, "v", VolReadIO, iv, func(simtime.Time) float64 { return 3 })
+	ser := s.Series("v", VolReadIO)
+	if len(ser) != 2 {
+		t.Fatalf("want 2 samples, got %d", len(ser))
+	}
+	if ser[1].T != simtime.Time(7*simtime.Minute) {
+		t.Fatalf("trailing sample should end at interval end, got %v", ser[1].T)
+	}
+}
+
+func TestWindowMeanProperty(t *testing.T) {
+	// WindowMean over the full series equals the arithmetic mean of values.
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewStore()
+		var sum float64
+		for i, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				return true // avoid overflow in the reference sum
+			}
+			s.MustAppend("c", VolWriteTime, Sample{T: simtime.Time(i), V: v})
+			sum += v
+		}
+		mean, n := s.WindowMean("c", VolWriteTime, simtime.NewInterval(0, simtime.Time(len(vals))))
+		if n != len(vals) {
+			return false
+		}
+		want := sum / float64(len(vals))
+		return math.Abs(mean-want) < 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

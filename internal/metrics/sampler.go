@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"diads/internal/simtime"
+)
+
+// DefaultMonitorInterval is the production monitoring interval the paper
+// cites as typical ("5 minutes or higher"), which is what averages out
+// spikes and produces noisy data.
+const DefaultMonitorInterval = 5 * simtime.Minute
+
+// TrueValueFunc reports the instantaneous "ground truth" value of a metric
+// at simulated time t. The sampler integrates it over each monitoring
+// interval; diagnosis code only ever sees the resulting averages.
+type TrueValueFunc func(t simtime.Time) float64
+
+// Sampler converts instantaneous component behaviour into the coarse,
+// noisy series a production monitoring tool records.
+type Sampler struct {
+	// Interval is the monitoring interval (default 5 minutes).
+	Interval simtime.Duration
+	// SubStep is the integration step used to average the true value
+	// across an interval.
+	SubStep simtime.Duration
+	// NoiseSigma is the log-normal measurement-noise sigma applied to each
+	// recorded sample (0 disables noise).
+	NoiseSigma float64
+	// Rand supplies measurement noise; it must be non-nil if NoiseSigma > 0.
+	Rand *simtime.Rand
+}
+
+// NewSampler returns a sampler with the production defaults: 5-minute
+// intervals, 15-second integration steps, and the given noise level.
+func NewSampler(noiseSigma float64, rnd *simtime.Rand) *Sampler {
+	return &Sampler{
+		Interval:   DefaultMonitorInterval,
+		SubStep:    15 * simtime.Second,
+		NoiseSigma: noiseSigma,
+		Rand:       rnd,
+	}
+}
+
+// Record samples fn over [iv.Start, iv.End) and appends one sample per
+// monitoring interval to store under (component, metric). Sample timestamps
+// are the interval end points, matching how monitoring agents report.
+func (sp *Sampler) Record(store *Store, component string, metric Metric, iv simtime.Interval, fn TrueValueFunc) {
+	step := sp.Interval
+	if step <= 0 {
+		step = DefaultMonitorInterval
+	}
+	sub := sp.SubStep
+	if sub <= 0 || sub > step {
+		sub = step / 10
+	}
+	for start := iv.Start; start < iv.End; start = start.Add(step) {
+		end := start.Add(step)
+		if end > iv.End {
+			end = iv.End
+		}
+		avg := integrateMean(fn, start, end, sub)
+		if sp.NoiseSigma > 0 && sp.Rand != nil {
+			avg = sp.Rand.Jitter(avg, sp.NoiseSigma)
+		}
+		store.MustAppend(component, metric, Sample{T: end, V: avg})
+	}
+}
+
+// WindowMeanFunc reports the exact time-average of a metric over an
+// interval; used for rate metrics whose averages are linear in the
+// underlying load segments.
+type WindowMeanFunc func(iv simtime.Interval) float64
+
+// RecordWindowMean appends one sample per monitoring interval using exact
+// window means instead of numeric integration. This matches how counters
+// behave in real monitoring agents: a 3-second I/O burst still moves the
+// interval's average by its exact share.
+func (sp *Sampler) RecordWindowMean(store *Store, component string, metric Metric, iv simtime.Interval, fn WindowMeanFunc) {
+	step := sp.Interval
+	if step <= 0 {
+		step = DefaultMonitorInterval
+	}
+	for start := iv.Start; start < iv.End; start = start.Add(step) {
+		end := start.Add(step)
+		if end > iv.End {
+			end = iv.End
+		}
+		avg := fn(simtime.NewInterval(start, end))
+		if sp.NoiseSigma > 0 && sp.Rand != nil {
+			avg = sp.Rand.Jitter(avg, sp.NoiseSigma)
+		}
+		store.MustAppend(component, metric, Sample{T: end, V: avg})
+	}
+}
+
+// integrateMean averages fn over [start, end) with the given step using the
+// midpoint rule, which is exact for the piecewise-constant load timelines
+// the SAN performance model produces (as long as step divides the pieces).
+func integrateMean(fn TrueValueFunc, start, end simtime.Time, step simtime.Duration) float64 {
+	if end <= start {
+		return fn(start)
+	}
+	var sum float64
+	var n int
+	for t := start; t < end; t = t.Add(step) {
+		mid := t.Add(step / 2)
+		if mid >= end {
+			mid = t.Add(simtime.Duration(float64(end.Sub(t)) / 2))
+		}
+		sum += fn(mid)
+		n++
+	}
+	if n == 0 {
+		return fn(start)
+	}
+	return sum / float64(n)
+}

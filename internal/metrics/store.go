@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"diads/internal/simtime"
+)
+
+// Sample is one monitored observation: the value of a metric on a
+// component, averaged over the monitoring interval ending at T.
+type Sample struct {
+	T simtime.Time
+	V float64
+}
+
+// SeriesKey identifies one time series in the store.
+type SeriesKey struct {
+	Component string
+	Metric    Metric
+}
+
+// String implements fmt.Stringer.
+func (k SeriesKey) String() string {
+	return fmt.Sprintf("%s/%s", k.Component, k.Metric)
+}
+
+// Store is the central monitoring repository, standing in for the
+// management tool's DB2 time-series database. Samples for a series must be
+// appended in non-decreasing time order, which is how the sampler produces
+// them.
+type Store struct {
+	mu     sync.RWMutex
+	series map[SeriesKey][]Sample
+}
+
+// NewStore returns an empty monitoring store.
+func NewStore() *Store {
+	return &Store{series: make(map[SeriesKey][]Sample)}
+}
+
+// Append records one sample for (component, metric). It returns an error if
+// the sample is out of time order for its series.
+func (s *Store) Append(component string, metric Metric, sample Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := SeriesKey{Component: component, Metric: metric}
+	ser := s.series[k]
+	if n := len(ser); n > 0 && sample.T < ser[n-1].T {
+		return fmt.Errorf("metrics: out-of-order sample for %s: %v after %v",
+			k, sample.T, ser[n-1].T)
+	}
+	s.series[k] = append(ser, sample)
+	return nil
+}
+
+// MustAppend is Append for simulator-internal callers where out-of-order
+// appends indicate a bug; it panics on error.
+func (s *Store) MustAppend(component string, metric Metric, sample Sample) {
+	if err := s.Append(component, metric, sample); err != nil {
+		panic(err)
+	}
+}
+
+// Series returns all samples of a series in time order. The returned slice
+// is a copy and may be retained by the caller.
+func (s *Store) Series(component string, metric Metric) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.series[SeriesKey{Component: component, Metric: metric}]
+	out := make([]Sample, len(ser))
+	copy(out, ser)
+	return out
+}
+
+// Window returns the samples of a series whose timestamps lie in iv.
+func (s *Store) Window(component string, metric Metric, iv simtime.Interval) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.series[SeriesKey{Component: component, Metric: metric}]
+	lo := sort.Search(len(ser), func(i int) bool { return ser[i].T >= iv.Start })
+	hi := sort.Search(len(ser), func(i int) bool { return ser[i].T >= iv.End })
+	out := make([]Sample, hi-lo)
+	copy(out, ser[lo:hi])
+	return out
+}
+
+// WindowMean returns the mean value of the series over iv and the number of
+// samples it covers. With zero samples the mean is 0.
+func (s *Store) WindowMean(component string, metric Metric, iv simtime.Interval) (mean float64, n int) {
+	w := s.Window(component, metric, iv)
+	if len(w) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, smp := range w {
+		sum += smp.V
+	}
+	return sum / float64(len(w)), len(w)
+}
+
+// Keys returns every series key in the store, sorted for deterministic
+// iteration.
+func (s *Store) Keys() []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]SeriesKey, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Component != keys[j].Component {
+			return keys[i].Component < keys[j].Component
+		}
+		return keys[i].Metric < keys[j].Metric
+	})
+	return keys
+}
+
+// Components returns the distinct component IDs present in the store,
+// sorted.
+func (s *Store) Components() []string {
+	seen := make(map[string]bool)
+	for _, k := range s.Keys() {
+		seen[k.Component] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricsFor returns the metrics recorded for a component, sorted.
+func (s *Store) MetricsFor(component string) []Metric {
+	var out []Metric
+	for _, k := range s.Keys() {
+		if k.Component == component {
+			out = append(out, k.Metric)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of samples across all series.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ser := range s.series {
+		n += len(ser)
+	}
+	return n
+}

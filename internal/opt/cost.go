@@ -1,0 +1,94 @@
+package opt
+
+import (
+	"math"
+
+	"diads/internal/dbsys"
+	"diads/internal/plan"
+)
+
+// CostPlan returns the optimizer's cost for a plan under a statistics
+// snapshot and parameter set, in abstract page-fetch units. The shape of
+// the model follows PostgreSQL's: sequential and random page costs for
+// I/O, a per-tuple CPU cost, n-log-n sorts, and nested-loop probe costs
+// that grow with the product of input cardinalities.
+func (o *Optimizer) CostPlan(p *plan.Plan, stats dbsys.Stats, params *dbsys.Params) float64 {
+	seqCost := params.Get(dbsys.ParamSeqPageCost)
+	randCost := params.Get(dbsys.ParamRandomPageCost)
+	cpuTuple := params.Get(dbsys.ParamCPUTupleCost)
+
+	cards := plan.Cardinality(p, stats.RowsOf, func(string) float64 { return 1 })
+
+	pagesOf := func(table string) float64 {
+		rows := stats.RowsOf(table)
+		t, ok := o.Cat.Table(table)
+		width := 128
+		if ok {
+			width = t.RowWidthB
+		}
+		pages := float64(rows) * float64(width) / float64(dbsys.PageSizeKB*1024)
+		return math.Max(1, pages)
+	}
+
+	var cost func(n *plan.Node) float64
+	cost = func(n *plan.Node) float64 {
+		rows := cards.RowsPerExec[n.ID]
+		var own float64
+		switch n.Type {
+		case plan.OpSeqScan:
+			own = pagesOf(n.Table)*seqCost + float64(stats.RowsOf(n.Table))*cpuTuple
+		case plan.OpIndexScan:
+			corr := 0.5
+			if ix, ok := o.Cat.Index(n.Index); ok {
+				corr = ix.Correlation
+			}
+			descent := math.Log2(pagesOf(n.Table) + 2)
+			perFetch := randCost*(1-corr) + seqCost*corr
+			own = descent + rows*perFetch + rows*cpuTuple
+		case plan.OpSort:
+			n2 := rows + 2
+			own = 2 * n2 * math.Log2(n2) * cpuTuple
+		case plan.OpHash:
+			own = rows * cpuTuple * 1.5
+		case plan.OpHashJoin, plan.OpMergeJoin:
+			var inputs float64
+			for _, ch := range n.Children {
+				inputs += cards.RowsPerExec[ch.ID]
+			}
+			own = inputs * cpuTuple
+		case plan.OpNestedLoop:
+			outer := cards.RowsPerExec[n.Children[0].ID]
+			var inner float64
+			if len(n.Children) > 1 {
+				inner = cards.RowsPerExec[n.Children[1].ID]
+			}
+			// Each outer row probes the inner; the probe touches the
+			// inner's rows unless it is a parameterized (AbsRows) lookup.
+			own = outer * math.Max(1, inner) * cpuTuple
+		case plan.OpAggregate:
+			var inputs float64
+			for _, ch := range n.Children {
+				inputs += cards.RowsPerExec[ch.ID]
+			}
+			own = inputs * cpuTuple
+		case plan.OpMaterialize:
+			own = rows * cpuTuple * 0.5
+		case plan.OpLimit:
+			own = 0
+		}
+
+		total := own
+		for _, ch := range n.Children {
+			total += cost(ch)
+		}
+		for _, s := range n.SubPlans {
+			subLoops := 1.0
+			if len(n.Children) > 0 {
+				subLoops = math.Max(1, cards.RowsPerExec[n.Children[0].ID])
+			}
+			total += cost(s) * subLoops
+		}
+		return total
+	}
+	return cost(p.Root)
+}

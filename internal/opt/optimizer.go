@@ -1,0 +1,107 @@
+// Package opt implements the cost-based query optimizer substrate. DIADS
+// itself never optimizes queries, but Module PD needs an optimizer to
+// (a) detect that the plan executed for a query changed between
+// satisfactory and unsatisfactory runs and (b) replay candidate
+// configuration/schema changes to pinpoint which one caused the change
+// ("plan-change analysis"). Module IA's cost-model implementation also
+// reuses the cost functions here.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"diads/internal/dbsys"
+	"diads/internal/plan"
+)
+
+// Optimizer chooses execution plans from catalog statistics and
+// configuration parameters, PostgreSQL-style.
+type Optimizer struct {
+	// Cat supplies index availability; statistics come from the snapshot
+	// passed to each call so that PD can replay historical states.
+	Cat *dbsys.Catalog
+}
+
+// New returns an optimizer over the given catalog.
+func New(cat *dbsys.Catalog) *Optimizer { return &Optimizer{Cat: cat} }
+
+// PlanQuery chooses the cheapest plan for the named query under the given
+// statistics snapshot and parameters. Supported queries: Q2 (with access
+// path and join strategy enumeration), Q5, Q6, Q14 (fixed shapes).
+func (o *Optimizer) PlanQuery(query string, stats dbsys.Stats, params *dbsys.Params) (*plan.Plan, error) {
+	switch query {
+	case "Q2":
+		return o.planQ2(stats, params), nil
+	case "Q5":
+		p := plan.BuildQ5()
+		plan.EstimateInto(p, stats.RowsOf)
+		return p, nil
+	case "Q6":
+		p := plan.BuildQ6()
+		plan.EstimateInto(p, stats.RowsOf)
+		return p, nil
+	case "Q14":
+		p := plan.BuildQ14()
+		plan.EstimateInto(p, stats.RowsOf)
+		return p, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown query %q", query)
+	}
+}
+
+// planQ2 enumerates the Q2 decision points and picks the cheapest
+// combination.
+func (o *Optimizer) planQ2(stats dbsys.Stats, params *dbsys.Params) *plan.Plan {
+	indexEnabled := params.Bool(dbsys.ParamEnableIndexScan)
+
+	accessAlternatives := func(table, column string) []plan.AccessSpec {
+		alts := []plan.AccessSpec{{Type: plan.OpSeqScan}}
+		if indexEnabled {
+			if ix, ok := o.Cat.IndexOn(table, column); ok {
+				alts = append([]plan.AccessSpec{{Type: plan.OpIndexScan, Index: ix.Name}}, alts...)
+			}
+		}
+		return alts
+	}
+
+	partAlts := accessAlternatives(dbsys.TPart, "p_type")
+	psAlts := accessAlternatives(dbsys.TPartsupp, "ps_partkey")
+	// Tiny-table lookups are not worth enumerating: use the index when
+	// it is available and allowed, else a sequential scan.
+	nationAccess := accessAlternatives(dbsys.TNation, "n_nationkey")[0]
+	supplierAccess := accessAlternatives(dbsys.TSupplier, "s_suppkey")[0]
+	joins := []plan.OpType{}
+	if params.Bool(dbsys.ParamEnableHashJoin) {
+		joins = append(joins, plan.OpHashJoin)
+	}
+	if params.Bool(dbsys.ParamEnableNestLoop) || len(joins) == 0 {
+		joins = append(joins, plan.OpNestedLoop)
+	}
+
+	var best *plan.Plan
+	bestCost := math.Inf(1)
+	for _, pa := range partAlts {
+		for _, ma := range psAlts {
+			for _, sa := range psAlts {
+				for _, j := range joins {
+					cand := plan.BuildQ2(plan.Q2Choices{
+						PartAccess:        pa,
+						PartsuppAccess:    ma,
+						SubPartsuppAccess: sa,
+						SubNationAccess:   nationAccess,
+						SubSupplierAccess: supplierAccess,
+						MainJoin:          j,
+					})
+					cost := o.CostPlan(cand, stats, params)
+					if cost < bestCost {
+						bestCost = cost
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	plan.EstimateInto(best, stats.RowsOf)
+	return best
+}

@@ -1,0 +1,116 @@
+// Package placement implements the Section 7 "Integrated Database and
+// SAN Planning" extension: using the APG's end-to-end view, it evaluates
+// candidate tablespace-to-pool placements for a query workload and ranks
+// them by predicted query time — "decisions like the choice of storage
+// required for given database workloads ... can be intelligently made
+// using these techniques".
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"diads/internal/dbsys"
+	"diads/internal/exec"
+	"diads/internal/sanperf"
+	"diads/internal/simtime"
+	"diads/internal/topology"
+)
+
+// Option is one candidate placement: a table assigned to a pool.
+type Option struct {
+	Table string
+	Pool  topology.ID
+	// PredictedSeconds is the predicted query duration under this
+	// placement.
+	PredictedSeconds float64
+}
+
+// String implements fmt.Stringer.
+func (o Option) String() string {
+	return fmt.Sprintf("%s -> %s: predicted %.2fs", o.Table, o.Pool, o.PredictedSeconds)
+}
+
+// Planner ranks placements of one table's tablespace across the SAN's
+// pools for a given baseline run of the query.
+type Planner struct {
+	Cfg      *topology.Config
+	SAN      *sanperf.Model
+	Cat      *dbsys.Catalog
+	Baseline *exec.RunRecord
+	// At is the representative time for storage state.
+	At simtime.Time
+}
+
+// Rank evaluates placing the table in each pool of the SAN and returns
+// the options sorted by predicted query time (best first).
+//
+// The prediction rescales the baseline run's leaf I/O times: leaves on
+// the moved table see the destination pool's response time instead of
+// the current one; other leaves are unchanged. Queue effects of the
+// moved load itself are second-order for a single query and ignored.
+func (p *Planner) Rank(table string) ([]Option, error) {
+	if _, ok := p.Cat.Table(table); !ok {
+		return nil, fmt.Errorf("placement: unknown table %q", table)
+	}
+	currentVol, err := p.Cat.VolumeOf(table)
+	if err != nil {
+		return nil, err
+	}
+	currentPool := p.Cfg.PoolOf(currentVol)
+	base := float64(p.Baseline.Duration())
+
+	pools := p.Cfg.All(topology.KindPool)
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("placement: SAN has no pools")
+	}
+	var out []Option
+	for _, pool := range pools {
+		factor := p.poolFactor(pool) / p.poolFactor(currentPool)
+		var delta float64
+		for _, n := range p.Baseline.Plan.LeavesOnTable(table) {
+			op := p.Baseline.Op(n.ID)
+			if op == nil {
+				continue
+			}
+			delta += float64(op.IOTime) * (factor - 1)
+		}
+		out = append(out, Option{
+			Table:            table,
+			Pool:             pool,
+			PredictedSeconds: math.Max(0, base+delta),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PredictedSeconds != out[j].PredictedSeconds {
+			return out[i].PredictedSeconds < out[j].PredictedSeconds
+		}
+		return out[i].Pool < out[j].Pool
+	})
+	return out, nil
+}
+
+// poolFactor is the pool's current I/O response multiplier: queueing
+// delay over a hypothetical idle pool, normalized per spindle count so a
+// wider pool is preferred even when both are idle.
+func (p *Planner) poolFactor(pool topology.ID) float64 {
+	disks := len(p.Cfg.ChildrenOfKind(pool, topology.KindDisk))
+	if disks == 0 {
+		return math.Inf(1)
+	}
+	rho := p.SAN.PoolUtilization(pool, p.At)
+	rho = math.Min(rho, p.SAN.Params().MaxUtil)
+	// Queue factor divided by a mild spindle-count bonus: striping over
+	// more disks shortens per-IO service under concurrency.
+	return (1 / (1 - rho)) / math.Sqrt(float64(disks))
+}
+
+// Best returns the top-ranked option.
+func (p *Planner) Best(table string) (Option, error) {
+	opts, err := p.Rank(table)
+	if err != nil {
+		return Option{}, err
+	}
+	return opts[0], nil
+}

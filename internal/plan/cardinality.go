@@ -1,0 +1,119 @@
+package plan
+
+import "math"
+
+// Cardinalities holds per-operator row counts and execution counts for one
+// query run, computed either from optimizer statistics (estimates) or from
+// actual table cardinalities (actuals).
+type Cardinalities struct {
+	// RowsPerExec is the operator's output rows per execution.
+	RowsPerExec map[int]float64
+	// Loops is how many times the operator executes per query run.
+	// Operators inside a correlated subplan run once per row of the
+	// attachment operator's outer input.
+	Loops map[int]float64
+	// Total is RowsPerExec * Loops — the record count the paper's
+	// per-operator monitoring reports.
+	Total map[int]float64
+}
+
+// TotalRows returns the operator's total output rows for the run.
+func (c Cardinalities) TotalRows(id int) float64 { return c.Total[id] }
+
+// Cardinality computes per-operator cardinalities for p.
+//
+// rowsOf supplies table cardinalities (statistics snapshot for estimates,
+// live catalog for actuals). absScale supplies the growth ratio applied to
+// AbsRows leaves (actual rows / statistics rows; use 1 for estimates).
+//
+// Cardinality semantics per operator type:
+//   - Seq/Index Scan: table rows x Sel, or AbsRows x absScale.
+//   - Joins: Fanout x outer-child rows.
+//   - Sort/Hash/Materialize: pass through child rows.
+//   - Aggregate: 1 row per execution.
+//   - Limit: min(LimitN, child rows).
+//
+// Nested-loop inners are treated as parameterized lookups: every child of
+// an operator executes once per execution of the operator itself, with the
+// per-row lookup already captured by the leaf's AbsRows.
+func Cardinality(p *Plan, rowsOf func(table string) int64, absScale func(table string) float64) Cardinalities {
+	c := Cardinalities{
+		RowsPerExec: make(map[int]float64, len(p.nodes)),
+		Loops:       make(map[int]float64, len(p.nodes)),
+		Total:       make(map[int]float64, len(p.nodes)),
+	}
+
+	var rows func(n *Node) float64
+	rows = func(n *Node) float64 {
+		var out float64
+		switch {
+		case n.IsLeaf():
+			if n.AbsRows > 0 {
+				out = n.AbsRows * absScale(n.Table)
+			} else {
+				out = float64(rowsOf(n.Table)) * n.Sel
+			}
+		case n.Type == OpAggregate:
+			for _, ch := range n.Children {
+				rows(ch)
+			}
+			out = 1
+		case n.Type == OpLimit:
+			child := rows(n.Children[0])
+			out = math.Min(float64(n.LimitN), child)
+			if n.LimitN <= 0 {
+				out = child
+			}
+		case n.Type == OpHashJoin || n.Type == OpMergeJoin || n.Type == OpNestedLoop:
+			outer := rows(n.Children[0])
+			for _, ch := range n.Children[1:] {
+				rows(ch)
+			}
+			out = n.EffectiveFanout() * outer
+		default: // Sort, Hash, Materialize pass through.
+			out = rows(n.Children[0])
+		}
+		// Subplans contribute no rows to their owner; walk for coverage.
+		for _, s := range n.SubPlans {
+			rows(s)
+		}
+		if out < 0 {
+			out = 0
+		}
+		c.RowsPerExec[n.ID] = out
+		return out
+	}
+	rows(p.Root)
+
+	var loops func(n *Node, l float64)
+	loops = func(n *Node, l float64) {
+		c.Loops[n.ID] = l
+		for _, ch := range n.Children {
+			loops(ch, l)
+		}
+		for _, s := range n.SubPlans {
+			subLoops := l
+			if len(n.Children) > 0 {
+				subLoops = l * math.Max(1, c.RowsPerExec[n.Children[0].ID])
+			}
+			loops(s, subLoops)
+		}
+	}
+	loops(p.Root, 1)
+
+	for id, r := range c.RowsPerExec {
+		c.Total[id] = r * c.Loops[id]
+	}
+	return c
+}
+
+// EstimateInto computes estimate cardinalities with rowsOf and stores them
+// on the plan's nodes (EstRows = total estimated rows), returning the
+// cardinalities.
+func EstimateInto(p *Plan, rowsOf func(table string) int64) Cardinalities {
+	c := Cardinality(p, rowsOf, func(string) float64 { return 1 })
+	for _, n := range p.Nodes() {
+		n.EstRows = c.Total[n.ID]
+	}
+	return c
+}

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diads/internal/dbsys"
+)
+
+// tpchRows supplies SF-1 cardinalities for cardinality tests.
+func tpchRows(table string) int64 {
+	rows := map[string]int64{
+		dbsys.TPart: 200_000, dbsys.TSupplier: 10_000, dbsys.TPartsupp: 800_000,
+		dbsys.TNation: 25, dbsys.TRegion: 5, dbsys.TLineitem: 6_000_000,
+		dbsys.TOrders: 1_500_000, dbsys.TCustomer: 150_000,
+	}
+	return rows[table]
+}
+
+func unitScale(string) float64 { return 1 }
+
+func TestQ2Cardinalities(t *testing.T) {
+	p := BuildQ2(DefaultQ2Choices())
+	c := Cardinality(p, tpchRows, unitScale)
+
+	// O4: part selectivity 0.004 of 200k = 800 rows, one execution.
+	if got := c.Total[4]; math.Abs(got-800) > 1e-9 {
+		t.Fatalf("O4 total rows: %v", got)
+	}
+	// Subplan operators loop once per O4 output row.
+	if got := c.Loops[22]; got != 800 {
+		t.Fatalf("O22 loops: %v", got)
+	}
+	// O22: 4 partsupp rows per loop, 3200 total.
+	if got := c.Total[22]; math.Abs(got-3200) > 1e-9 {
+		t.Fatalf("O22 total rows: %v", got)
+	}
+	// The subplan aggregate emits one row per loop.
+	if got := c.RowsPerExec[16]; got != 1 {
+		t.Fatalf("O16 rows/exec: %v", got)
+	}
+	// Limit caps the root at 100.
+	if got := c.RowsPerExec[1]; got > 100 {
+		t.Fatalf("O1 should be capped by Limit: %v", got)
+	}
+	// Every operator has loops >= 1 and non-negative rows.
+	for _, n := range p.Nodes() {
+		if c.Loops[n.ID] < 1 {
+			t.Errorf("O%d loops < 1: %v", n.ID, c.Loops[n.ID])
+		}
+		if c.Total[n.ID] < 0 {
+			t.Errorf("O%d negative rows", n.ID)
+		}
+	}
+}
+
+func TestCardinalityScalesWithAbsGrowth(t *testing.T) {
+	p := BuildQ2(DefaultQ2Choices())
+	base := Cardinality(p, tpchRows, unitScale)
+	grown := Cardinality(p, tpchRows, func(table string) float64 {
+		if table == dbsys.TPartsupp {
+			return 1.6
+		}
+		return 1
+	})
+	// AbsRows partsupp leaf (O22) grows 1.6x; nation lookup (O19) does not.
+	if r := grown.Total[22] / base.Total[22]; math.Abs(r-1.6) > 1e-9 {
+		t.Fatalf("O22 growth: %v", r)
+	}
+	if grown.Total[19] != base.Total[19] {
+		t.Fatalf("O19 should not grow")
+	}
+}
+
+func TestCardinalityProperties(t *testing.T) {
+	// Properties over random selectivities and fanouts: rows stay
+	// non-negative and finite; pass-through nodes preserve child rows;
+	// scaling table rows never decreases Sel-based leaf output.
+	f := func(selRaw, fanRaw float64, rows int64) bool {
+		sel := math.Abs(math.Mod(selRaw, 1))
+		fan := math.Abs(math.Mod(fanRaw, 8))
+		if rows < 0 {
+			rows = -rows
+		}
+		rows = rows%1_000_000 + 1
+		leaf := &Node{Type: OpSeqScan, Table: "t", Sel: sel}
+		join := &Node{Type: OpHashJoin, Fanout: fan, Children: []*Node{
+			leaf,
+			{Type: OpHash, Children: []*Node{{Type: OpSeqScan, Table: "t", Sel: 0.5}}},
+		}}
+		root := &Node{Type: OpSort, Children: []*Node{join}}
+		p := New("prop", root)
+		rowsOf := func(string) int64 { return rows }
+		c := Cardinality(p, rowsOf, unitScale)
+		for _, n := range p.Nodes() {
+			v := c.Total[n.ID]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		// Sort passes through the join's output.
+		if c.RowsPerExec[root.ID] != c.RowsPerExec[join.ID] {
+			return false
+		}
+		// Doubling the table never shrinks the leaf.
+		c2 := Cardinality(p, func(string) int64 { return rows * 2 }, unitScale)
+		return c2.Total[leaf.ID] >= c.Total[leaf.ID]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateIntoStoresEstRows(t *testing.T) {
+	p := BuildQ2(DefaultQ2Choices())
+	c := EstimateInto(p, tpchRows)
+	for _, n := range p.Nodes() {
+		if n.EstRows != c.Total[n.ID] {
+			t.Fatalf("O%d EstRows %v != %v", n.ID, n.EstRows, c.Total[n.ID])
+		}
+	}
+}
+
+func TestLimitWithoutNCapsNothing(t *testing.T) {
+	root := &Node{Type: OpLimit, Children: []*Node{
+		{Type: OpSeqScan, Table: "t", Sel: 1},
+	}}
+	p := New("nolimit", root)
+	c := Cardinality(p, func(string) int64 { return 500 }, unitScale)
+	if c.RowsPerExec[1] != 500 {
+		t.Fatalf("Limit without N should pass rows through: %v", c.RowsPerExec[1])
+	}
+}

@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plan is a finalized operator tree with pre-order IDs assigned.
+type Plan struct {
+	// Query names the query this plan executes (e.g. "Q2").
+	Query string
+	// Root is the top operator.
+	Root *Node
+
+	nodes   []*Node     // pre-order
+	parents map[int]int // node ID -> parent ID (0 for root)
+}
+
+// New finalizes a tree under root into a Plan, assigning pre-order IDs.
+// At each node, regular children are numbered before attached subplans,
+// which matches how EXPLAIN lists subplans after the node's inputs.
+func New(query string, root *Node) *Plan {
+	p := &Plan{Query: query, Root: root, parents: make(map[int]int)}
+	var walk func(n *Node, parent int)
+	var next int
+	walk = func(n *Node, parent int) {
+		next++
+		n.ID = next
+		p.nodes = append(p.nodes, n)
+		p.parents[n.ID] = parent
+		for _, c := range n.Children {
+			walk(c, n.ID)
+		}
+		for _, s := range n.SubPlans {
+			walk(s, n.ID)
+		}
+	}
+	walk(root, 0)
+	return p
+}
+
+// Nodes returns the operators in pre-order (O1 first).
+func (p *Plan) Nodes() []*Node { return p.nodes }
+
+// NumOperators returns the operator count.
+func (p *Plan) NumOperators() int { return len(p.nodes) }
+
+// Node returns the operator with the given ID.
+func (p *Plan) Node(id int) (*Node, bool) {
+	if id < 1 || id > len(p.nodes) {
+		return nil, false
+	}
+	return p.nodes[id-1], true
+}
+
+// MustNode returns the operator with the given ID or panics.
+func (p *Plan) MustNode(id int) *Node {
+	n, ok := p.Node(id)
+	if !ok {
+		panic(fmt.Sprintf("plan: no operator O%d in %s", id, p.Query))
+	}
+	return n
+}
+
+// Leaves returns the base-data operators in pre-order.
+func (p *Plan) Leaves() []*Node {
+	var out []*Node
+	for _, n := range p.nodes {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ParentID returns the parent operator's ID (0 for the root).
+func (p *Plan) ParentID(id int) int { return p.parents[id] }
+
+// Ancestors returns the chain of ancestor IDs from id's parent up to the
+// root, in bottom-up order. Subplan operators chain through the operator
+// their subplan attaches to.
+func (p *Plan) Ancestors(id int) []int {
+	var out []int
+	for cur := p.parents[id]; cur != 0; cur = p.parents[cur] {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// LeavesOnTable returns the leaf operators reading the given table.
+func (p *Plan) LeavesOnTable(table string) []*Node {
+	var out []*Node
+	for _, n := range p.Leaves() {
+		if n.Table == table {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Tables returns the distinct base tables the plan reads, sorted.
+func (p *Plan) Tables() []string {
+	seen := make(map[string]bool)
+	for _, n := range p.Leaves() {
+		seen[n.Table] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signature returns a stable hash of the plan's structure: operator types,
+// access paths, and tree shape. Two runs used the same plan iff their
+// signatures match — the test Module PD starts with.
+func (p *Plan) Signature() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%d:%s:%s:%s:%s;", depth, n.Type, n.Table, n.Index, n.Alias)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+		for _, s := range n.SubPlans {
+			b.WriteString("sub;")
+			walk(s, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Render returns an EXPLAIN-style indented listing with operator numbers.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int, prefix string)
+	walk = func(n *Node, depth int, prefix string) {
+		fmt.Fprintf(&b, "%-4s %s%s%s\n", n.OpName(), strings.Repeat("  ", depth), prefix, n.Label())
+		for _, c := range n.Children {
+			walk(c, depth+1, "")
+		}
+		for _, s := range n.SubPlans {
+			walk(s, depth+1, "SubPlan: ")
+		}
+	}
+	walk(p.Root, 0, "")
+	return b.String()
+}
+
+// Difference describes one structural difference between two plans.
+type Difference struct {
+	// Kind is "access-path", "operator", or "shape".
+	Kind string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (d Difference) String() string { return d.Kind + ": " + d.Detail }
+
+// Diff compares two plans structurally: per-table access paths and the
+// multiset of operator types. It returns nil when the plans are
+// structurally identical.
+func Diff(a, b *Plan) []Difference {
+	if a.Signature() == b.Signature() {
+		return nil
+	}
+	var out []Difference
+
+	accessOf := func(p *Plan) map[string]string {
+		m := make(map[string]string)
+		for _, n := range p.Leaves() {
+			key := n.Table + aliasSuffix(n.Alias)
+			desc := string(n.Type)
+			if n.Index != "" {
+				desc += " using " + n.Index
+			}
+			m[key] = desc
+		}
+		return m
+	}
+	accA, accB := accessOf(a), accessOf(b)
+	keys := make(map[string]bool)
+	for k := range accA {
+		keys[k] = true
+	}
+	for k := range accB {
+		keys[k] = true
+	}
+	sortedKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	for _, k := range sortedKeys {
+		va, vb := accA[k], accB[k]
+		switch {
+		case va == vb:
+		case va == "":
+			out = append(out, Difference{Kind: "access-path", Detail: fmt.Sprintf("%s: none -> %s", k, vb)})
+		case vb == "":
+			out = append(out, Difference{Kind: "access-path", Detail: fmt.Sprintf("%s: %s -> none", k, va)})
+		default:
+			out = append(out, Difference{Kind: "access-path", Detail: fmt.Sprintf("%s: %s -> %s", k, va, vb)})
+		}
+	}
+
+	countTypes := func(p *Plan) map[OpType]int {
+		m := make(map[OpType]int)
+		for _, n := range p.Nodes() {
+			m[n.Type]++
+		}
+		return m
+	}
+	ca, cb := countTypes(a), countTypes(b)
+	for _, t := range []OpType{OpLimit, OpSort, OpHashJoin, OpMergeJoin, OpNestedLoop,
+		OpHash, OpMaterialize, OpAggregate, OpSeqScan, OpIndexScan} {
+		if ca[t] != cb[t] {
+			out = append(out, Difference{Kind: "operator",
+				Detail: fmt.Sprintf("%s count %d -> %d", t, ca[t], cb[t])})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Difference{Kind: "shape", Detail: "same operators arranged differently"})
+	}
+	return out
+}

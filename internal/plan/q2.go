@@ -1,0 +1,186 @@
+package plan
+
+import "diads/internal/dbsys"
+
+// AccessSpec selects how a leaf reads its table.
+type AccessSpec struct {
+	Type  OpType // OpIndexScan or OpSeqScan
+	Index string // index name when Type is OpIndexScan
+}
+
+// Q2Choices are the optimizer decision points for the TPC-H Q2 plan. The
+// zero value is invalid; use DefaultQ2Choices for the paper's Figure 1
+// plan.
+type Q2Choices struct {
+	// PartAccess drives O4.
+	PartAccess AccessSpec
+	// PartsuppAccess drives the main-tree partsupp read (O8 in the
+	// default shape).
+	PartsuppAccess AccessSpec
+	// SubPartsuppAccess drives the subplan partsupp read (O22).
+	SubPartsuppAccess AccessSpec
+	// SubNationAccess drives the subplan nation lookup (O19).
+	SubNationAccess AccessSpec
+	// SubSupplierAccess drives the subplan supplier lookup (O23).
+	SubSupplierAccess AccessSpec
+	// MainJoin is the strategy for the top part-to-partsupp join (O3):
+	// OpHashJoin or OpNestedLoop.
+	MainJoin OpType
+}
+
+// DefaultQ2Choices returns the access and join choices that produce the
+// paper's 25-operator, 9-leaf plan.
+func DefaultQ2Choices() Q2Choices {
+	return Q2Choices{
+		PartAccess:        AccessSpec{Type: OpIndexScan, Index: dbsys.IdxPartType},
+		PartsuppAccess:    AccessSpec{Type: OpIndexScan, Index: dbsys.IdxPartsuppPart},
+		SubPartsuppAccess: AccessSpec{Type: OpIndexScan, Index: dbsys.IdxPartsuppPart},
+		SubNationAccess:   AccessSpec{Type: OpIndexScan, Index: dbsys.IdxNationKey},
+		SubSupplierAccess: AccessSpec{Type: OpIndexScan, Index: dbsys.IdxSupplierKey},
+		MainJoin:          OpHashJoin,
+	}
+}
+
+// Selectivities and fanouts for Q2, expressed scale-independently. The
+// absolute row counts they imply at scale factor 1 are noted inline.
+const (
+	q2PartSel      = 0.004 // 800 parts match the size+type predicate at SF 1
+	q2PartsuppSel  = 0.004 // their 3,200 partsupp rows
+	q2RegionSel    = 0.2   // 1 of 5 regions
+	q2SupplierFrac = 0.2   // suppliers surviving the region filter
+	q2SubFanout    = 4     // partsupp rows per part (subplan, per loop)
+)
+
+// BuildQ2 constructs the TPC-H Q2 plan for the given choices. With
+// DefaultQ2Choices the resulting tree reproduces Figure 1 exactly:
+// operators O1..O25 with leaves {O4, O8, O10, O13, O15, O19, O22, O23,
+// O25}, where O8 and O22 read partsupp (volume V1) and the other seven
+// leaves read V2 tables.
+func BuildQ2(ch Q2Choices) *Plan {
+	partsuppMain := leafFor(ch.PartsuppAccess, dbsys.TPartsupp, "", q2PartsuppSel, 0)
+	// A merge join needs its outer input ordered: an index scan delivers
+	// order, a seq scan needs an explicit sort.
+	var mergeOuter *Node
+	if ch.PartsuppAccess.Type == OpIndexScan {
+		mergeOuter = partsuppMain
+	} else {
+		mergeOuter = &Node{Type: OpSort, Children: []*Node{partsuppMain}}
+	}
+
+	mainInner := &Node{ // supplier-nation-region side of O6
+		Type: OpHash,
+		Children: []*Node{{
+			Type:   OpHashJoin,
+			Fanout: 1,
+			Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TNation, Sel: 1},
+				{Type: OpHash, Children: []*Node{
+					{Type: OpSeqScan, Table: dbsys.TRegion, Sel: q2RegionSel},
+				}},
+			},
+		}},
+	}
+
+	joinSupp := &Node{ // O7: partsupp x supplier
+		Type:   OpMergeJoin,
+		Fanout: 1,
+		Children: []*Node{
+			mergeOuter,
+			{Type: OpSort, Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TSupplier, Sel: 1},
+			}},
+		},
+	}
+
+	joinRegion := &Node{ // O6: (partsupp x supplier) x (nation x region)
+		Type:     OpHashJoin,
+		Fanout:   q2SupplierFrac,
+		Children: []*Node{joinSupp, mainInner},
+	}
+
+	subPartsupp := leafFor(ch.SubPartsuppAccess, dbsys.TPartsupp, "ps2", 0, q2SubFanout)
+	// O21: the partsupp index delivers partkey order, but the merge join
+	// with supplier needs suppkey order, so a sort is always required.
+	subMergeOuter := &Node{Type: OpSort, Children: []*Node{subPartsupp}}
+
+	subplan := &Node{ // O16: min(ps_supplycost) for the current part
+		Type: OpAggregate,
+		Children: []*Node{{
+			Type:   OpNestedLoop, // O17: x region (materialized)
+			Fanout: q2RegionSel,
+			Children: []*Node{
+				{
+					Type:   OpNestedLoop, // O18: x nation
+					Fanout: 1,
+					Children: []*Node{
+						subNation(ch.SubNationAccess),
+						{
+							Type:   OpMergeJoin, // O20: ps2 x s2
+							Fanout: 1,
+							Children: []*Node{
+								subMergeOuter, // O21: Sort over O22
+								subSupplier(ch.SubSupplierAccess),
+							},
+						},
+					},
+				},
+				{Type: OpMaterialize, Children: []*Node{ // O24
+					{Type: OpSeqScan, Table: dbsys.TRegion, Alias: "r2", Sel: 1},
+				}},
+			},
+		}},
+	}
+
+	part := leafFor(ch.PartAccess, dbsys.TPart, "", q2PartSel, 0)
+
+	var mainJoin *Node
+	if ch.MainJoin == OpNestedLoop {
+		mainJoin = &Node{
+			Type:     OpNestedLoop,
+			Fanout:   1,
+			Children: []*Node{part, joinRegion},
+			SubPlans: []*Node{subplan},
+		}
+	} else {
+		mainJoin = &Node{ // O3
+			Type:   OpHashJoin,
+			Fanout: 1,
+			Children: []*Node{
+				part, // O4
+				{Type: OpHash, Children: []*Node{joinRegion}}, // O5
+			},
+			SubPlans: []*Node{subplan},
+		}
+	}
+
+	root := &Node{
+		Type:   OpLimit,
+		LimitN: 100,
+		Children: []*Node{{
+			Type:     OpSort,
+			Children: []*Node{mainJoin},
+		}},
+	}
+	return New("Q2", root)
+}
+
+// leafFor builds a scan node from an access spec. Exactly one of sel or
+// absRows should be non-zero.
+func leafFor(spec AccessSpec, table, alias string, sel, absRows float64) *Node {
+	n := &Node{Type: spec.Type, Table: table, Alias: alias, Sel: sel, AbsRows: absRows}
+	if spec.Type == OpIndexScan {
+		n.Index = spec.Index
+	}
+	return n
+}
+
+// subNation builds the subplan's per-loop nation lookup (O19 by default).
+func subNation(spec AccessSpec) *Node {
+	return leafFor(spec, dbsys.TNation, "n2", 0, 25)
+}
+
+// subSupplier builds the subplan's per-loop supplier lookup (O23 by
+// default).
+func subSupplier(spec AccessSpec) *Node {
+	return leafFor(spec, dbsys.TSupplier, "s2", 0, q2SubFanout)
+}

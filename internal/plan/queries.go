@@ -1,0 +1,94 @@
+package plan
+
+import "diads/internal/dbsys"
+
+// BuildQ6 constructs a small TPC-H Q6-style plan: an aggregate over a
+// filtered lineitem scan. It serves as background database workload and
+// populates the query-selection screen with realistic variety.
+func BuildQ6() *Plan {
+	return New("Q6", &Node{
+		Type: OpAggregate,
+		Children: []*Node{
+			{Type: OpSeqScan, Table: dbsys.TLineitem, Sel: 0.02},
+		},
+	})
+}
+
+// BuildQ14 constructs a TPC-H Q14-style plan: promotion revenue, a hash
+// join of filtered lineitem with part under an aggregate.
+func BuildQ14() *Plan {
+	return New("Q14", &Node{
+		Type: OpAggregate,
+		Children: []*Node{{
+			Type:   OpHashJoin,
+			Fanout: 1,
+			Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TLineitem, Sel: 0.012},
+				{Type: OpHash, Children: []*Node{
+					{Type: OpSeqScan, Table: dbsys.TPart, Sel: 1},
+				}},
+			},
+		}},
+	})
+}
+
+// BuildQ5 constructs a TPC-H Q5-style plan: local supplier volume, a
+// multiway join over customer, orders, lineitem, supplier, nation, region
+// with a final sort.
+func BuildQ5() *Plan {
+	nationRegion := &Node{
+		Type:   OpHashJoin,
+		Fanout: 1,
+		Children: []*Node{
+			{Type: OpSeqScan, Table: dbsys.TNation, Sel: 1},
+			{Type: OpHash, Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TRegion, Sel: 0.2},
+			}},
+		},
+	}
+	custSide := &Node{
+		Type:   OpHashJoin,
+		Fanout: 0.2,
+		Children: []*Node{
+			{Type: OpSeqScan, Table: dbsys.TCustomer, Sel: 1},
+			{Type: OpHash, Children: []*Node{nationRegion}},
+		},
+	}
+	orders := &Node{
+		Type:   OpHashJoin,
+		Fanout: 1.5, // orders per customer in the date range
+		Children: []*Node{
+			custSide,
+			{Type: OpHash, Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TOrders, Sel: 0.15},
+			}},
+		},
+	}
+	lineitem := &Node{
+		Type:   OpHashJoin,
+		Fanout: 4,
+		Children: []*Node{
+			orders,
+			{Type: OpHash, Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TLineitem, Sel: 0.15},
+			}},
+		},
+	}
+	suppliers := &Node{
+		Type:   OpHashJoin,
+		Fanout: 0.04,
+		Children: []*Node{
+			lineitem,
+			{Type: OpHash, Children: []*Node{
+				{Type: OpSeqScan, Table: dbsys.TSupplier, Sel: 1},
+			}},
+		},
+	}
+	return New("Q5", &Node{
+		Type: OpSort,
+		Children: []*Node{{
+			Type:     OpAggregate,
+			Children: []*Node{suppliers},
+		}},
+	})
+}

@@ -1,0 +1,107 @@
+package symptoms
+
+// Root-cause kind names used by the built-in database and referenced by
+// the experiments' ground truth.
+const (
+	CauseSANMisconfig   = "san-misconfig-contention"
+	CauseExternalLoad   = "external-workload-contention"
+	CauseDataProperty   = "data-property-change"
+	CauseLockContention = "lock-contention"
+	CauseRAIDRebuild    = "raid-rebuild-interference"
+	CauseDiskFailure    = "disk-failure-degradation"
+	CauseCPUSaturation  = "cpu-saturation"
+	CausePlanRegression = "plan-regression"
+	CauseBufferPool     = "buffer-pool-misconfiguration"
+)
+
+// builtinSrc is the in-house symptoms database for query slowdowns, in
+// the administrator-editable text format. Fact names are produced by the
+// diagnosis workflow (see diag.BuildFacts).
+const builtinSrc = `
+# --- SAN misconfiguration: a new volume carved into the pool of a volume
+# the query depends on, zoned/mapped to another host whose workload now
+# contends for the same disks (Table 1, scenario 1).
+cause san-misconfig-contention scope=volume fix="migrate the newly created volume to a different pool" {
+  25: exists(new-volume-in-pool:$P)
+  15: exists(new-mapping-in-pool:$P)
+  40: and(ge(metric-anomaly:$V:*, 0.8), ge(cos-leaf-frac:$V, 0.5))
+  10: before(new-volume-in-pool:$P, first-unsat-run)
+  10: not(exists(record-anomaly:*))
+}
+
+# --- External workload contention without a configuration change
+# (Table 1, scenario 2). The load increase must show on a *different*
+# volume of the pool: a database whose own I/O grew (data-property
+# change) raises pool load through its own volume and must not match.
+cause external-workload-contention scope=volume fix="throttle or reschedule the external workload" {
+  40: and(ge(metric-anomaly:$V:*, 0.8), ge(cos-leaf-frac:$V, 0.5))
+  20: and(ge(other-volume-load-increase:$V, 0.8), ge(cos-leaf-frac:$V, 0.5))
+  25: not(exists(new-volume-in-pool:$P))
+  5: ge(pool-load-increase:$P, 0.8)
+  10: not(exists(record-anomaly:*))
+}
+
+# --- Data-property change: DML shifted table cardinality/distribution;
+# record counts moved, plan did not (Table 1, scenario 3).
+cause data-property-change scope=table fix="run ANALYZE to refresh optimizer statistics" {
+  35: ge(record-anomaly:$T, 0.8)
+  20: exists(dml-event:$T)
+  20: ge(cos-table:$T, 0.8)
+  15: not(exists(plan-changed))
+  10: before(dml-event:$T, first-unsat-run)
+}
+
+# --- Table lock contention (Table 1, scenario 5).
+cause lock-contention scope=table fix="reschedule the conflicting batch transaction" {
+  35: ge(lock-anomaly:db, 0.8)
+  25: ge(locks-held-high, 0.8)
+  25: ge(cos-table:$T, 0.8)
+  15: not(exists(record-anomaly:$T))
+}
+
+# --- RAID rebuild stealing disk bandwidth in a pool.
+cause raid-rebuild-interference scope=pool fix="lower the rebuild priority" {
+  40: exists(raid-rebuild:$P)
+  25: ge(disk-anomaly-in-pool:$P, 0.8)
+  20: ge(cos-leaf-frac-pool:$P, 0.5)
+  15: before(raid-rebuild:$P, first-unsat-run)
+}
+
+# --- Disk failure degrading a pool.
+cause disk-failure-degradation scope=pool fix="replace the failed disk" {
+  60: exists(disk-failed-in-pool:$P)
+  20: ge(disk-anomaly-in-pool:$P, 0.8)
+  20: ge(cos-leaf-frac-pool:$P, 0.5)
+}
+
+# --- Database server CPU saturation. The level condition is the key
+# piece of domain knowledge: queries running longer always raise average
+# CPU a little (event propagation), but saturation means CPU is actually
+# high during the slow runs.
+cause cpu-saturation scope=server fix="move the competing process off the database server" {
+  25: ge(cpu-anomaly:$S, 0.8)
+  40: ge(cpu-level:$S, 0.5)
+  20: ge(cos-interior-frac, 0.5)
+  15: not(ge(pool-load-increase:*, 0.8))
+}
+
+# --- The execution plan itself changed; Module PD attributes the cause.
+cause plan-regression scope=global fix="apply plan-change analysis and revert the causing change" {
+  100: exists(plan-changed)
+}
+
+# --- Buffer pool misconfiguration (the classic database-only-tool
+# hypothesis; kept so incomplete-knowledge comparisons are fair). Extra
+# block reads only implicate the cache when the data volume itself did
+# not grow and no volume-level contention explains them.
+cause buffer-pool-misconfiguration scope=global fix="increase shared_buffers" {
+  45: ge(buffer-miss-anomaly, 0.8)
+  15: ge(cos-leaf-frac-any, 0.5)
+  20: not(exists(record-anomaly:*))
+  20: not(ge(metric-anomaly:*, 0.8))
+}
+`
+
+// Builtin returns the in-house symptoms database developed for query
+// slowdowns, equivalent to the one the paper's prototype used.
+func Builtin() *DB { return MustParse(builtinSrc) }

@@ -1,0 +1,272 @@
+package symptoms
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scope declares which template bindings an entry expects.
+type Scope string
+
+// Entry scopes: the workflow instantiates volume-scoped entries once per
+// volume on the plan's dependency paths (binding $V and $P), table-scoped
+// entries once per plan table ($T), pool entries per pool ($P), server
+// entries per server ($S), and global entries once.
+const (
+	ScopeVolume Scope = "volume"
+	ScopeTable  Scope = "table"
+	ScopePool   Scope = "pool"
+	ScopeServer Scope = "server"
+	ScopeGlobal Scope = "global"
+)
+
+// Condition is one weighted presence/absence condition of an entry.
+type Condition struct {
+	Weight float64
+	Expr   Expr
+}
+
+// Entry is one root-cause entry: its conditions' weights sum to 100.
+type Entry struct {
+	// Kind names the root cause, e.g. "san-misconfig-contention".
+	Kind string
+	// Scope selects the bindings the entry is instantiated with.
+	Scope Scope
+	// Fix optionally describes the remediation, enabling the self-healing
+	// extension of Section 7.
+	Fix        string
+	Conditions []Condition
+}
+
+// Category is the paper's three-way confidence classification.
+type Category string
+
+// Confidence categories (Section 4.1, Module SD).
+const (
+	High   Category = "high"   // score >= 80
+	Medium Category = "medium" // 80 > score >= 50
+	Low    Category = "low"    // score < 50
+)
+
+// Categorize maps a confidence score to its category.
+func Categorize(score float64) Category {
+	switch {
+	case score >= 80:
+		return High
+	case score >= 50:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// CauseInstance is an evaluated root-cause hypothesis: an entry bound to a
+// concrete subject.
+type CauseInstance struct {
+	Kind       string
+	Subject    string
+	Confidence float64
+	Category   Category
+	Fix        string
+	// TrueConditions lists the conditions that held, for explanations.
+	TrueConditions []string
+}
+
+// String implements fmt.Stringer.
+func (c CauseInstance) String() string {
+	return fmt.Sprintf("%s(%s) confidence=%.0f%% [%s]", c.Kind, c.Subject, c.Confidence, c.Category)
+}
+
+// DB is a symptoms database.
+type DB struct {
+	entries []Entry
+}
+
+// NewDB returns an empty symptoms database.
+func NewDB(entries ...Entry) *DB { return &DB{entries: entries} }
+
+// Add appends an entry after validating that its weights sum to 100.
+func (db *DB) Add(e Entry) error {
+	var sum float64
+	for _, c := range e.Conditions {
+		sum += c.Weight
+	}
+	if len(e.Conditions) == 0 || sum < 99.5 || sum > 100.5 {
+		return fmt.Errorf("symptoms: entry %q weights sum to %.1f, want 100", e.Kind, sum)
+	}
+	db.entries = append(db.entries, e)
+	return nil
+}
+
+// Entries returns the entries.
+func (db *DB) Entries() []Entry { return db.entries }
+
+// Remove deletes all entries of the given kind, reporting how many were
+// removed. It supports the paper's incomplete-symptoms-database
+// experiments.
+func (db *DB) Remove(kind string) int {
+	var kept []Entry
+	removed := 0
+	for _, e := range db.entries {
+		if e.Kind == kind {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	db.entries = kept
+	return removed
+}
+
+// Binding supplies the template variables for one entry instantiation.
+type Binding struct {
+	Scope   Scope
+	Subject string
+	Vars    map[string]string
+}
+
+// Evaluate scores every entry against the fact base for each binding of
+// its scope, returning cause instances sorted by confidence (descending),
+// with ties broken by kind then subject for determinism.
+func (db *DB) Evaluate(fb *FactBase, bindings []Binding) []CauseInstance {
+	var out []CauseInstance
+	for _, e := range db.entries {
+		for _, b := range bindings {
+			if b.Scope != e.Scope {
+				continue
+			}
+			var score float64
+			var trueConds []string
+			for _, c := range e.Conditions {
+				if c.Expr.Eval(fb, b.Vars) {
+					score += c.Weight
+					trueConds = append(trueConds, c.Expr.String())
+				}
+			}
+			out = append(out, CauseInstance{
+				Kind:           e.Kind,
+				Subject:        b.Subject,
+				Confidence:     score,
+				Category:       Categorize(score),
+				Fix:            e.Fix,
+				TrueConditions: trueConds,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Subject < out[j].Subject
+	})
+	return out
+}
+
+// Parse reads entries from the text format administrators author:
+//
+//	cause san-misconfig-contention scope=volume fix="migrate the new volume" {
+//	  25: exists(new-volume-in-pool:$P)
+//	  20: ge(metric-anomaly:$V:*, 0.8)
+//	  ...
+//	}
+//
+// Lines starting with '#' are comments.
+func Parse(src string) (*DB, error) {
+	db := NewDB()
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") {
+			i++
+			continue
+		}
+		if !strings.HasPrefix(line, "cause ") {
+			return nil, fmt.Errorf("symptoms: line %d: expected 'cause', got %q", i+1, line)
+		}
+		header := strings.TrimSuffix(strings.TrimPrefix(line, "cause "), "{")
+		entry, err := parseHeader(header)
+		if err != nil {
+			return nil, fmt.Errorf("symptoms: line %d: %w", i+1, err)
+		}
+		if !strings.HasSuffix(line, "{") {
+			return nil, fmt.Errorf("symptoms: line %d: entry header must end with '{'", i+1)
+		}
+		i++
+		for i < len(lines) {
+			body := strings.TrimSpace(lines[i])
+			if body == "" || strings.HasPrefix(body, "#") {
+				i++
+				continue
+			}
+			if body == "}" {
+				i++
+				break
+			}
+			colon := strings.Index(body, ":")
+			if colon < 0 {
+				return nil, fmt.Errorf("symptoms: line %d: expected 'weight: expr'", i+1)
+			}
+			w, err := strconv.ParseFloat(strings.TrimSpace(body[:colon]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("symptoms: line %d: bad weight: %w", i+1, err)
+			}
+			expr, err := ParseExpr(strings.TrimSpace(body[colon+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("symptoms: line %d: %w", i+1, err)
+			}
+			entry.Conditions = append(entry.Conditions, Condition{Weight: w, Expr: expr})
+			i++
+		}
+		if err := db.Add(entry); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// parseHeader parses `<kind> scope=<scope> [fix="..."]`.
+func parseHeader(header string) (Entry, error) {
+	e := Entry{}
+	rest := strings.TrimSpace(header)
+	// Extract fix="..." first since it may contain spaces.
+	if idx := strings.Index(rest, `fix="`); idx >= 0 {
+		tail := rest[idx+len(`fix="`):]
+		end := strings.Index(tail, `"`)
+		if end < 0 {
+			return e, fmt.Errorf("unterminated fix string")
+		}
+		e.Fix = tail[:end]
+		rest = strings.TrimSpace(rest[:idx] + tail[end+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return e, fmt.Errorf("entry header needs kind and scope, got %q", header)
+	}
+	e.Kind = fields[0]
+	for _, f := range fields[1:] {
+		if strings.HasPrefix(f, "scope=") {
+			e.Scope = Scope(strings.TrimPrefix(f, "scope="))
+		}
+	}
+	switch e.Scope {
+	case ScopeVolume, ScopeTable, ScopePool, ScopeServer, ScopeGlobal:
+	default:
+		return e, fmt.Errorf("entry %q has invalid scope %q", e.Kind, e.Scope)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for the built-in database.
+func MustParse(src string) *DB {
+	db, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -1,0 +1,264 @@
+package symptoms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed symptom expression, evaluated against a fact base with
+// template bindings ($V, $P, $T, $S) substituted into patterns.
+type Expr interface {
+	Eval(fb *FactBase, bind map[string]string) bool
+	String() string
+}
+
+// existsExpr: exists(pattern) — some matching fact has score > 0.
+type existsExpr struct{ pattern string }
+
+func (e existsExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	return fb.Exists(substitute(e.pattern, bind))
+}
+func (e existsExpr) String() string { return fmt.Sprintf("exists(%s)", e.pattern) }
+
+// geExpr: ge(pattern, c) — the max score among matching facts is >= c.
+type geExpr struct {
+	pattern string
+	c       float64
+}
+
+func (e geExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	return fb.MaxScore(substitute(e.pattern, bind)) >= e.c
+}
+func (e geExpr) String() string { return fmt.Sprintf("ge(%s, %g)", e.pattern, e.c) }
+
+// notExpr: not(expr).
+type notExpr struct{ inner Expr }
+
+func (e notExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	return !e.inner.Eval(fb, bind)
+}
+func (e notExpr) String() string { return fmt.Sprintf("not(%s)", e.inner) }
+
+// andExpr: and(e1, e2, ...).
+type andExpr struct{ args []Expr }
+
+func (e andExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	for _, a := range e.args {
+		if !a.Eval(fb, bind) {
+			return false
+		}
+	}
+	return true
+}
+func (e andExpr) String() string { return "and(" + joinExprs(e.args) + ")" }
+
+// orExpr: or(e1, e2, ...).
+type orExpr struct{ args []Expr }
+
+func (e orExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	for _, a := range e.args {
+		if a.Eval(fb, bind) {
+			return true
+		}
+	}
+	return false
+}
+func (e orExpr) String() string { return "or(" + joinExprs(e.args) + ")" }
+
+// beforeExpr: before(p1, p2) — the earliest timed fact matching p1
+// precedes the earliest timed fact matching p2 (both must exist). This is
+// the paper's "complex symptoms with temporal properties".
+type beforeExpr struct{ p1, p2 string }
+
+func (e beforeExpr) Eval(fb *FactBase, bind map[string]string) bool {
+	t1, ok1 := fb.EarliestT(substitute(e.p1, bind))
+	t2, ok2 := fb.EarliestT(substitute(e.p2, bind))
+	return ok1 && ok2 && t1 < t2
+}
+func (e beforeExpr) String() string { return fmt.Sprintf("before(%s, %s)", e.p1, e.p2) }
+
+func joinExprs(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// substitute replaces $-prefixed template variables in a pattern.
+func substitute(pattern string, bind map[string]string) string {
+	if !strings.Contains(pattern, "$") {
+		return pattern
+	}
+	out := pattern
+	for k, v := range bind {
+		out = strings.ReplaceAll(out, k, v)
+	}
+	return out
+}
+
+// ParseExpr parses one symptom expression, e.g.
+//
+//	ge(metric-anomaly:$V:*, 0.8)
+//	and(exists(new-volume-in-pool:$P), not(exists(record-anomaly:*)))
+//	before(event:VolumeCreated:*, first-unsat-run)
+func ParseExpr(src string) (Expr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("symptoms: parsing %q: %w", src, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("symptoms: parsing %q: trailing input at %d", src, p.pos)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr that panics; for built-in entries.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// ident reads a function name or pattern token.
+func (p *exprParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *exprParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *exprParser) parse() (Expr, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("empty expression at offset %d", p.pos)
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "exists":
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return existsExpr{pattern: pat}, nil
+	case "ge":
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		num := p.ident()
+		c, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q", num)
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return geExpr{pattern: pat, c: c}, nil
+	case "not":
+		inner, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	case "and", "or":
+		var args []Expr
+		for {
+			arg, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if name == "and" {
+			return andExpr{args: args}, nil
+		}
+		return orExpr{args: args}, nil
+	case "before":
+		p1, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		p2, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return beforeExpr{p1: p1, p2: p2}, nil
+	default:
+		return nil, fmt.Errorf("unknown function %q", name)
+	}
+}
+
+// pattern reads a fact pattern: everything up to the next ',' or ')'.
+// Fact names may contain spaces (metric names like "Blocks Read"), so the
+// pattern token is delimiter-terminated rather than space-terminated.
+func (p *exprParser) pattern() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ',' && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	pat := strings.TrimRight(p.src[start:p.pos], " \t")
+	if pat == "" {
+		return "", fmt.Errorf("empty pattern at offset %d", start)
+	}
+	return pat, nil
+}

@@ -1,0 +1,163 @@
+// Package symptoms implements the paper's symptoms database (Module SD):
+// a collection of root-cause entries in the Codebook-inspired format
+// Cond1 & Cond2 & ... & Condz, where each condition asserts the presence
+// or absence of a symptom, carries a weight (weights per entry sum to
+// 100%), and symptoms are written in a small expression language over a
+// base set of facts — including temporal conditions such as "the volume
+// was created before the first unsatisfactory run".
+//
+// The diagnosis workflow turns module outputs (correlated operators,
+// metric anomaly scores, record-count anomalies, configuration events)
+// into facts; the database maps those symptoms to semantically meaningful
+// root causes with confidence scores, categorized high (>= 80%), medium
+// (>= 50%), and low.
+package symptoms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diads/internal/simtime"
+)
+
+// Fact is one base symptom: a named observation with a score in [0, 1]
+// and, where meaningful, a timestamp (for temporal conditions).
+type Fact struct {
+	Name  string
+	Score float64
+	T     simtime.Time
+	HasT  bool
+}
+
+// FactBase is a set of facts queryable by glob-like patterns.
+type FactBase struct {
+	facts map[string]Fact
+}
+
+// NewFactBase returns an empty fact base.
+func NewFactBase() *FactBase {
+	return &FactBase{facts: make(map[string]Fact)}
+}
+
+// Add records a fact with a score and no timestamp. Re-adding a name
+// keeps the higher score.
+func (fb *FactBase) Add(name string, score float64) {
+	if old, ok := fb.facts[name]; ok && old.Score >= score {
+		return
+	}
+	fb.facts[name] = Fact{Name: name, Score: score}
+}
+
+// AddTimed records a fact with a score and timestamp. Re-adding keeps the
+// earliest timestamp and the higher score.
+func (fb *FactBase) AddTimed(name string, score float64, t simtime.Time) {
+	if old, ok := fb.facts[name]; ok {
+		if old.HasT && old.T < t {
+			t = old.T
+		}
+		if old.Score > score {
+			score = old.Score
+		}
+	}
+	fb.facts[name] = Fact{Name: name, Score: score, T: t, HasT: true}
+}
+
+// Match returns the facts whose names match the pattern. Patterns are
+// colon-separated segments; a segment of "*" matches any single segment,
+// and a trailing "*" segment matches any remaining segments.
+func (fb *FactBase) Match(pattern string) []Fact {
+	var out []Fact
+	for name, f := range fb.facts {
+		if MatchPattern(pattern, name) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MaxScore returns the highest score among matching facts (0 if none).
+func (fb *FactBase) MaxScore(pattern string) float64 {
+	var max float64
+	for _, f := range fb.Match(pattern) {
+		if f.Score > max {
+			max = f.Score
+		}
+	}
+	return max
+}
+
+// Exists reports whether any fact matches the pattern with score > 0.
+func (fb *FactBase) Exists(pattern string) bool {
+	for _, f := range fb.Match(pattern) {
+		if f.Score > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EarliestT returns the earliest timestamp among matching timed facts.
+func (fb *FactBase) EarliestT(pattern string) (simtime.Time, bool) {
+	var best simtime.Time
+	found := false
+	for _, f := range fb.Match(pattern) {
+		if !f.HasT {
+			continue
+		}
+		if !found || f.T < best {
+			best = f.T
+			found = true
+		}
+	}
+	return best, found
+}
+
+// All returns every fact sorted by name.
+func (fb *FactBase) All() []Fact {
+	out := make([]Fact, 0, len(fb.facts))
+	for _, f := range fb.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of facts.
+func (fb *FactBase) Len() int { return len(fb.facts) }
+
+// String implements fmt.Stringer, listing facts one per line.
+func (fb *FactBase) String() string {
+	var b strings.Builder
+	for _, f := range fb.All() {
+		if f.HasT {
+			fmt.Fprintf(&b, "%-45s score=%.3f t=%s\n", f.Name, f.Score, f.T.Clock())
+		} else {
+			fmt.Fprintf(&b, "%-45s score=%.3f\n", f.Name, f.Score)
+		}
+	}
+	return b.String()
+}
+
+// MatchPattern reports whether a colon-segmented glob pattern matches a
+// fact name.
+func MatchPattern(pattern, name string) bool {
+	ps := strings.Split(pattern, ":")
+	ns := strings.Split(name, ":")
+	for i, p := range ps {
+		if p == "*" && i == len(ps)-1 {
+			return len(ns) >= i // trailing * matches the rest (even empty)
+		}
+		if i >= len(ns) {
+			return false
+		}
+		if p == "*" {
+			continue
+		}
+		if p != ns[i] {
+			return false
+		}
+	}
+	return len(ps) == len(ns)
+}

@@ -1,0 +1,153 @@
+package symptoms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper's Section 7 proposes a self-evolving symptoms database:
+// "machine learning techniques contributing towards identifying potential
+// symptoms which can be checked by an expert and added to the symptoms
+// database. Considering that a symptoms database may never be complete,
+// this provides a self-evolving mechanism."
+//
+// Miner implements that loop: it accumulates the fact bases of diagnosed
+// incidents together with the confirmed root cause, and proposes
+// candidate entries — the facts that recur across an incident class but
+// are absent from quiet periods — for an expert to review.
+
+// Incident is one diagnosed episode: its facts and the confirmed cause.
+type Incident struct {
+	Facts *FactBase
+	// CauseKind and Subject record the expert-confirmed root cause.
+	CauseKind string
+	Subject   string
+}
+
+// Miner accumulates incidents and proposes codebook entries.
+type Miner struct {
+	incidents []Incident
+	// Background holds fact bases from healthy periods, used to filter
+	// out facts that are always present.
+	background []*FactBase
+}
+
+// AddIncident records a confirmed incident.
+func (m *Miner) AddIncident(inc Incident) { m.incidents = append(m.incidents, inc) }
+
+// AddBackground records a healthy-period fact base.
+func (m *Miner) AddBackground(fb *FactBase) { m.background = append(m.background, fb) }
+
+// CandidateEntry is a proposed codebook entry awaiting expert review.
+type CandidateEntry struct {
+	CauseKind string
+	// Conditions are the proposed condition expressions with suggested
+	// weights (normalized to 100).
+	Conditions []Condition
+	// Support is how many incidents of the class exhibit every proposed
+	// condition.
+	Support int
+	// Incidents is the class size.
+	Incidents int
+}
+
+// Render formats the candidate in the administrator-editable DSL, ready
+// to paste into the database once reviewed.
+func (c CandidateEntry) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mined from %d/%d incidents — review before adopting\n", c.Support, c.Incidents)
+	fmt.Fprintf(&b, "cause %s scope=global {\n", c.CauseKind)
+	for _, cond := range c.Conditions {
+		fmt.Fprintf(&b, "  %g: %s\n", cond.Weight, cond.Expr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// minedScoreThreshold is the fact score above which a fact counts as
+// "present" during mining.
+const minedScoreThreshold = 0.8
+
+// Propose mines candidate entries: for each cause kind with at least
+// minIncidents confirmed incidents, the facts that are present
+// (score >= 0.8) in every incident of the class but in no background
+// period become the conditions of a candidate entry.
+func (m *Miner) Propose(minIncidents int) []CandidateEntry {
+	byKind := make(map[string][]Incident)
+	for _, inc := range m.incidents {
+		byKind[inc.CauseKind] = append(byKind[inc.CauseKind], inc)
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	var out []CandidateEntry
+	for _, kind := range kinds {
+		class := byKind[kind]
+		if len(class) < minIncidents {
+			continue
+		}
+		common := m.commonFacts(class)
+		discriminative := m.filterBackground(common)
+		if len(discriminative) == 0 {
+			continue
+		}
+		weight := 100.0 / float64(len(discriminative))
+		cand := CandidateEntry{
+			CauseKind: kind + "-mined",
+			Support:   len(class),
+			Incidents: len(class),
+		}
+		for _, name := range discriminative {
+			cand.Conditions = append(cand.Conditions, Condition{
+				Weight: weight,
+				Expr:   MustParseExpr(fmt.Sprintf("ge(%s, %g)", name, minedScoreThreshold)),
+			})
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// commonFacts returns fact names present in every incident of the class,
+// sorted.
+func (m *Miner) commonFacts(class []Incident) []string {
+	counts := make(map[string]int)
+	for _, inc := range class {
+		for _, f := range inc.Facts.All() {
+			if f.Score >= minedScoreThreshold {
+				counts[f.Name]++
+			}
+		}
+	}
+	var out []string
+	for name, n := range counts {
+		if n == len(class) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// filterBackground drops facts that also appear in any healthy period —
+// they carry no diagnostic signal.
+func (m *Miner) filterBackground(names []string) []string {
+	var out []string
+	for _, name := range names {
+		inBackground := false
+		for _, fb := range m.background {
+			if fb.MaxScore(name) >= minedScoreThreshold {
+				inBackground = true
+				break
+			}
+		}
+		if !inBackground {
+			out = append(out, name)
+		}
+	}
+	return out
+}

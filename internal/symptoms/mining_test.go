@@ -1,0 +1,121 @@
+package symptoms
+
+import (
+	"strings"
+	"testing"
+)
+
+// incidentFacts builds a fact base resembling a V1-contention incident.
+func incidentFacts(extra ...string) *FactBase {
+	fb := NewFactBase()
+	fb.Add("metric-anomaly:vol-V1:writeTime", 0.95)
+	fb.Add("cos-leaf-frac:vol-V1", 1.0)
+	fb.Add("pool-load-increase:pool-P1", 0.9)
+	for _, name := range extra {
+		fb.Add(name, 0.9)
+	}
+	return fb
+}
+
+func backgroundFacts() *FactBase {
+	fb := NewFactBase()
+	// Always-on facts that carry no signal.
+	fb.Add("pool-load-increase:pool-P1", 0.92)
+	return fb
+}
+
+func TestMinerProposesDiscriminativeEntry(t *testing.T) {
+	var m Miner
+	for i := 0; i < 3; i++ {
+		m.AddIncident(Incident{
+			Facts:     incidentFacts(),
+			CauseKind: "mystery-contention",
+			Subject:   "vol-V1",
+		})
+	}
+	m.AddBackground(backgroundFacts())
+
+	cands := m.Propose(3)
+	if len(cands) != 1 {
+		t.Fatalf("want 1 candidate, got %d", len(cands))
+	}
+	c := cands[0]
+	if c.CauseKind != "mystery-contention-mined" || c.Support != 3 {
+		t.Fatalf("candidate wrong: %+v", c)
+	}
+	// The background-present fact must be filtered out.
+	rendered := c.Render()
+	if strings.Contains(rendered, "pool-load-increase") {
+		t.Fatalf("background fact should be filtered:\n%s", rendered)
+	}
+	for _, want := range []string{"metric-anomaly:vol-V1:writeTime", "cos-leaf-frac:vol-V1"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("candidate missing %q:\n%s", want, rendered)
+		}
+	}
+	// Weights sum to 100 and the rendered entry parses back.
+	var sum float64
+	for _, cond := range c.Conditions {
+		sum += cond.Weight
+	}
+	if sum < 99.5 || sum > 100.5 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// Strip the comment line; the DSL parser takes the rest.
+	lines := strings.SplitN(rendered, "\n", 2)
+	if _, err := Parse(lines[1]); err != nil {
+		t.Fatalf("mined entry does not parse: %v\n%s", err, rendered)
+	}
+}
+
+func TestMinerRequiresSupport(t *testing.T) {
+	var m Miner
+	m.AddIncident(Incident{Facts: incidentFacts(), CauseKind: "rare-cause"})
+	if cands := m.Propose(3); len(cands) != 0 {
+		t.Fatalf("one incident should not support a proposal: %v", cands)
+	}
+}
+
+func TestMinerRequiresConsistency(t *testing.T) {
+	var m Miner
+	// Incidents of the same class with disjoint facts: nothing common.
+	fb1 := NewFactBase()
+	fb1.Add("fact-a", 0.9)
+	fb2 := NewFactBase()
+	fb2.Add("fact-b", 0.9)
+	fb3 := NewFactBase()
+	fb3.Add("fact-c", 0.9)
+	for _, fb := range []*FactBase{fb1, fb2, fb3} {
+		m.AddIncident(Incident{Facts: fb, CauseKind: "inconsistent"})
+	}
+	if cands := m.Propose(3); len(cands) != 0 {
+		t.Fatalf("disjoint incidents should yield no proposal: %v", cands)
+	}
+}
+
+func TestMinerSeparatesClasses(t *testing.T) {
+	var m Miner
+	for i := 0; i < 3; i++ {
+		m.AddIncident(Incident{Facts: incidentFacts(), CauseKind: "class-a"})
+	}
+	lockFacts := func() *FactBase {
+		fb := NewFactBase()
+		fb.Add("lock-anomaly:db", 0.95)
+		fb.Add("cos-table:partsupp", 0.9)
+		return fb
+	}
+	for i := 0; i < 3; i++ {
+		m.AddIncident(Incident{Facts: lockFacts(), CauseKind: "class-b"})
+	}
+	cands := m.Propose(3)
+	if len(cands) != 2 {
+		t.Fatalf("want 2 candidates, got %d", len(cands))
+	}
+	// Deterministic order by kind.
+	if cands[0].CauseKind != "class-a-mined" || cands[1].CauseKind != "class-b-mined" {
+		t.Fatalf("candidate order: %v, %v", cands[0].CauseKind, cands[1].CauseKind)
+	}
+	if strings.Contains(cands[1].Render(), "vol-V1") {
+		t.Fatalf("class-b candidate should not carry class-a facts")
+	}
+}

@@ -1,0 +1,234 @@
+package symptoms
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"plan-changed", "plan-changed", true},
+		{"plan-changed", "plan-change", false},
+		{"metric-anomaly:vol-V1:writeTime", "metric-anomaly:vol-V1:writeTime", true},
+		{"metric-anomaly:vol-V1:*", "metric-anomaly:vol-V1:writeTime", true},
+		{"metric-anomaly:vol-V1:*", "metric-anomaly:vol-V2:writeTime", false},
+		{"metric-anomaly:*:writeTime", "metric-anomaly:vol-V2:writeTime", true},
+		{"metric-anomaly:*", "metric-anomaly:vol-V2:writeTime", true},
+		{"metric-anomaly:*", "record-anomaly:partsupp", false},
+		{"event:*:vol-Vp", "event:VolumeCreated:vol-Vp", true},
+		{"a:b", "a:b:c", false},
+		{"a:b:c", "a:b", false},
+	}
+	for _, c := range cases {
+		if got := MatchPattern(c.pattern, c.name); got != c.want {
+			t.Errorf("MatchPattern(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestFactBaseScoresAndTimes(t *testing.T) {
+	fb := NewFactBase()
+	fb.Add("metric-anomaly:vol-V1:writeIO", 0.894)
+	fb.Add("metric-anomaly:vol-V1:writeTime", 0.823)
+	fb.Add("metric-anomaly:vol-V2:writeIO", 0.063)
+	fb.AddTimed("event:VolumeCreated:vol-Vp", 1, 500)
+	fb.AddTimed("first-unsat-run", 1, 900)
+
+	if got := fb.MaxScore("metric-anomaly:vol-V1:*"); got != 0.894 {
+		t.Fatalf("MaxScore: %v", got)
+	}
+	if !fb.Exists("event:VolumeCreated:*") {
+		t.Fatalf("Exists failed")
+	}
+	if fb.Exists("event:ZoneCreated:*") {
+		t.Fatalf("Exists false positive")
+	}
+	tm, ok := fb.EarliestT("event:*")
+	if !ok || tm != 500 {
+		t.Fatalf("EarliestT: %v %v", tm, ok)
+	}
+	// Re-adding keeps higher score and earlier time.
+	fb.AddTimed("event:VolumeCreated:vol-Vp", 0.5, 300)
+	f := fb.Match("event:VolumeCreated:vol-Vp")[0]
+	if f.Score != 1 || f.T != 300 {
+		t.Fatalf("merge semantics: %+v", f)
+	}
+	fb.Add("metric-anomaly:vol-V1:writeIO", 0.5)
+	if got := fb.MaxScore("metric-anomaly:vol-V1:writeIO"); got != 0.894 {
+		t.Fatalf("Add should keep the higher score, got %v", got)
+	}
+}
+
+func TestExprEvaluation(t *testing.T) {
+	fb := NewFactBase()
+	fb.Add("metric-anomaly:vol-V1:writeTime", 0.85)
+	fb.Add("cos-leaf-frac:vol-V1", 1.0)
+	fb.AddTimed("new-volume-in-pool:pool-P1", 1, 100)
+	fb.AddTimed("first-unsat-run", 1, 200)
+
+	bind := map[string]string{"$V": "vol-V1", "$P": "pool-P1"}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"exists(new-volume-in-pool:$P)", true},
+		{"exists(new-volume-in-pool:pool-P2)", false},
+		{"ge(metric-anomaly:$V:*, 0.8)", true},
+		{"ge(metric-anomaly:$V:*, 0.9)", false},
+		{"not(exists(record-anomaly:*))", true},
+		{"and(exists(new-volume-in-pool:$P), ge(cos-leaf-frac:$V, 0.5))", true},
+		{"or(exists(nope), exists(new-volume-in-pool:$P))", true},
+		{"before(new-volume-in-pool:$P, first-unsat-run)", true},
+		{"before(first-unsat-run, new-volume-in-pool:$P)", false},
+		{"before(missing-fact, first-unsat-run)", false},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := e.Eval(fb, bind); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "bogus(x)", "exists()", "ge(a)", "ge(a, b)", "exists(a) trailing",
+		"and(exists(a)", "not()",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	if Categorize(80) != High || Categorize(95) != High {
+		t.Fatalf("high boundary wrong")
+	}
+	if Categorize(79.9) != Medium || Categorize(50) != Medium {
+		t.Fatalf("medium boundary wrong")
+	}
+	if Categorize(49.9) != Low || Categorize(0) != Low {
+		t.Fatalf("low boundary wrong")
+	}
+}
+
+func TestDBWeightsValidation(t *testing.T) {
+	db := NewDB()
+	err := db.Add(Entry{
+		Kind: "x", Scope: ScopeGlobal,
+		Conditions: []Condition{{Weight: 50, Expr: MustParseExpr("exists(a)")}},
+	})
+	if err == nil {
+		t.Fatalf("weights != 100 should be rejected")
+	}
+}
+
+func TestBuiltinParsesAndScoresScenario1(t *testing.T) {
+	db := Builtin()
+	if len(db.Entries()) != 9 {
+		t.Fatalf("builtin should have 9 entries, got %d", len(db.Entries()))
+	}
+
+	// Scenario 1 facts: misconfiguration events on P1, V1 metric + leaf
+	// anomalies, no record-count anomaly.
+	fb := NewFactBase()
+	fb.AddTimed("new-volume-in-pool:pool-P1", 1, 100)
+	fb.AddTimed("new-mapping-in-pool:pool-P1", 1, 120)
+	fb.AddTimed("first-unsat-run", 1, 500)
+	fb.Add("metric-anomaly:vol-V1:writeIO", 0.894)
+	fb.Add("metric-anomaly:vol-V1:writeTime", 0.823)
+	fb.Add("metric-anomaly:vol-V2:writeTime", 0.479)
+	fb.Add("cos-leaf-frac:vol-V1", 1.0)
+	fb.Add("cos-leaf-frac:vol-V2", 1.0/7)
+	fb.Add("pool-load-increase:pool-P1", 0.9)
+	fb.Add("cos-table:partsupp", 0.95)
+
+	bindings := []Binding{
+		{Scope: ScopeVolume, Subject: "vol-V1", Vars: map[string]string{"$V": "vol-V1", "$P": "pool-P1"}},
+		{Scope: ScopeVolume, Subject: "vol-V2", Vars: map[string]string{"$V": "vol-V2", "$P": "pool-P2"}},
+		{Scope: ScopeTable, Subject: "partsupp", Vars: map[string]string{"$T": "partsupp"}},
+		{Scope: ScopeGlobal, Subject: "Q2", Vars: map[string]string{}},
+	}
+	causes := db.Evaluate(fb, bindings)
+	if len(causes) == 0 {
+		t.Fatal("no causes evaluated")
+	}
+	top := causes[0]
+	if top.Kind != CauseSANMisconfig || top.Subject != "vol-V1" {
+		t.Fatalf("top cause should be SAN misconfiguration on V1, got %v", top)
+	}
+	if top.Category != High {
+		t.Fatalf("scenario 1 should be high confidence, got %v", top)
+	}
+	// The alternative explanation (external workload on V1) stays below
+	// high because the new-volume event refutes it.
+	for _, c := range causes {
+		if c.Kind == CauseExternalLoad && c.Subject == "vol-V1" && c.Category == High {
+			t.Fatalf("external-workload should not reach high when a misconfig event exists: %v", c)
+		}
+		if c.Subject == "vol-V2" && c.Category != Low {
+			t.Fatalf("V2 causes should be low: %v", c)
+		}
+	}
+}
+
+func TestParseRoundTripFixAndRemove(t *testing.T) {
+	src := `
+# comment
+cause test-cause scope=volume fix="do the thing" {
+  60: exists(a:$V)
+  40: not(exists(b))
+}
+`
+	db, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := db.Entries()[0]
+	if e.Fix != "do the thing" || e.Scope != ScopeVolume || len(e.Conditions) != 2 {
+		t.Fatalf("parsed entry wrong: %+v", e)
+	}
+	if n := db.Remove("test-cause"); n != 1 {
+		t.Fatalf("Remove: %d", n)
+	}
+	if len(db.Entries()) != 0 {
+		t.Fatalf("entry not removed")
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	for _, src := range []string{
+		"cause x {",                       // missing scope
+		"cause x scope=bogus {\n}",        // bad scope
+		"nonsense",                        // no cause
+		"cause x scope=global {\n  abc\n", // no weight
+		"cause x scope=global\n",          // missing brace
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", strings.Split(src, "\n")[0])
+		}
+	}
+}
+
+func TestEvaluateDeterministicOrder(t *testing.T) {
+	db := Builtin()
+	fb := NewFactBase()
+	bindings := []Binding{
+		{Scope: ScopeVolume, Subject: "vol-V1", Vars: map[string]string{"$V": "vol-V1", "$P": "pool-P1"}},
+		{Scope: ScopeVolume, Subject: "vol-V2", Vars: map[string]string{"$V": "vol-V2", "$P": "pool-P2"}},
+	}
+	a := db.Evaluate(fb, bindings)
+	b := db.Evaluate(fb, bindings)
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Subject != b[i].Subject {
+			t.Fatalf("evaluation order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+
+	"diads/internal/exec"
+	"diads/internal/metrics"
+	"diads/internal/sanperf"
+	"diads/internal/simtime"
+	"diads/internal/topology"
+)
+
+// cpuPerRun is the CPU utilization a running query adds on the DB server.
+const cpuPerRun = 0.25
+
+// timelineEvent is one chronological step of the simulation.
+type timelineEvent struct {
+	t    simtime.Time
+	prio int // apply configuration changes before runs at the same time
+	run  func() error
+}
+
+// Simulate plays the testbed's timeline: external loads are applied to
+// the SAN model, then query runs, DML batches, index drops, and parameter
+// changes execute in chronological order; finally the monitoring pipeline
+// samples every component's behaviour into the metric store. Simulate may
+// only be called once per testbed.
+func (tb *Testbed) Simulate() error {
+	if tb.simulated {
+		return fmt.Errorf("testbed: already simulated")
+	}
+	tb.simulated = true
+
+	var end simtime.Time
+	for _, l := range tb.Loads {
+		for _, seg := range l.Segments() {
+			tb.SAN.AddLoad(seg)
+		}
+		if l.Window.End > end {
+			end = l.Window.End
+		}
+	}
+
+	var events []timelineEvent
+	runSeq := 0
+	for _, qs := range tb.Schedules {
+		qs := qs
+		for _, t := range qs.Times() {
+			t := t
+			events = append(events, timelineEvent{t: t, prio: 1, run: func() error {
+				return tb.runQuery(qs.Query, t, &runSeq)
+			}})
+		}
+	}
+	for _, d := range tb.DMLs {
+		d := d
+		events = append(events, timelineEvent{t: d.T, prio: 0, run: func() error {
+			if err := tb.Cat.ScaleRows(d.Table, d.Factor); err != nil {
+				return err
+			}
+			tb.Cfg.Log.Record(topology.Event{
+				T: d.T, Kind: topology.EvDMLBatch, Subject: topology.ID(d.Table),
+				Detail: fmt.Sprintf("bulk DML scaled %s cardinality by %.2fx", d.Table, d.Factor),
+			})
+			return nil
+		}})
+	}
+	for _, ix := range tb.IndexDrops {
+		ix := ix
+		events = append(events, timelineEvent{t: ix.T, prio: 0, run: func() error {
+			if !tb.Cat.DropIndex(ix.Index) {
+				return fmt.Errorf("testbed: drop of unknown index %q", ix.Index)
+			}
+			tb.Cfg.Log.Record(topology.Event{
+				T: ix.T, Kind: topology.EvIndexDropped, Subject: topology.ID(ix.Index),
+				Detail: "index dropped by maintenance script",
+			})
+			return nil
+		}})
+	}
+	for _, pc := range tb.ParamChanges {
+		pc := pc
+		events = append(events, timelineEvent{t: pc.T, prio: 0, run: func() error {
+			old := tb.Params.Set(pc.Param, pc.Value)
+			tb.Cfg.Log.Record(topology.Event{
+				T: pc.T, Kind: topology.EvParamChanged, Subject: topology.ID(pc.Param),
+				Detail: fmt.Sprintf("%s: %g -> %g", pc.Param, old, pc.Value),
+			})
+			return nil
+		}})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].prio < events[j].prio
+	})
+
+	for _, ev := range events {
+		if err := ev.run(); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range tb.Runs {
+		if r.Stop > end {
+			end = r.Stop
+		}
+	}
+	tb.Horizon = simtime.NewInterval(0, end.Add(10*simtime.Minute))
+
+	tb.emitMetrics()
+	return nil
+}
+
+// runQuery optimizes and executes one scheduled run.
+func (tb *Testbed) runQuery(query string, t simtime.Time, seq *int) error {
+	p, err := tb.Opt.PlanQuery(query, tb.Stats, tb.Params)
+	if err != nil {
+		return err
+	}
+	*seq++
+	runID := fmt.Sprintf("run-%s-%03d", query, *seq)
+	rec, err := tb.Engine.Run(p, t, runID)
+	if err != nil {
+		return err
+	}
+	tb.Runs = append(tb.Runs, rec)
+	// The run occupies the server CPU while it executes.
+	tb.CPULoad.Add("cpu", simtime.NewInterval(rec.Start, rec.Stop), cpuPerRun, runID)
+	return nil
+}
+
+// RunsFor returns the run history of one query in time order.
+func (tb *Testbed) RunsFor(query string) []*exec.RunRecord {
+	var out []*exec.RunRecord
+	for _, r := range tb.Runs {
+		if r.Query == query {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// emitMetrics runs the monitoring pipeline over the whole horizon.
+func (tb *Testbed) emitMetrics() {
+	tb.SAN.EmitMetrics(tb.Store, tb.Sampler, tb.Horizon)
+	tb.SAN.EmitNetworkMetrics(tb.Store, tb.Sampler, tb.Horizon, ServerDB)
+
+	// Server metrics: CPU from the load timeline (exact interval means, as
+	// a real agent's counters would report); memory mostly flat.
+	tb.Sampler.RecordWindowMean(tb.Store, string(ServerDB), metrics.SrvCPUUsagePct, tb.Horizon,
+		func(w simtime.Interval) float64 {
+			return 100 * minf(0.08+tb.CPULoad.MeanOver("cpu", w), 1)
+		})
+	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvPhysMemoryPct, tb.Horizon,
+		func(simtime.Time) float64 { return 62 })
+	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvProcesses, tb.Horizon,
+		func(simtime.Time) float64 { return 180 })
+
+	// Database metrics: per-run activity rates plus lock-manager state.
+	dbAct := sanperf.NewTimeline()
+	for _, r := range tb.Runs {
+		dur := float64(r.Duration())
+		if dur <= 0 {
+			continue
+		}
+		iv := simtime.NewInterval(r.Start, r.Stop)
+		dbAct.Add("blocksread", iv, r.PhysIO/dur, r.RunID)
+		dbAct.Add("bufferhits", iv, r.CacheHit/dur, r.RunID)
+		dbAct.Add("lockwait", iv, float64(r.LockWait)/dur, r.RunID)
+		dbAct.Add("idxscans", iv, float64(r.IdxScans)/dur, r.RunID)
+		dbAct.Add("seqscans", iv, float64(r.SeqScans)/dur, r.RunID)
+	}
+	rec := func(metric metrics.Metric, key string) {
+		tb.Sampler.RecordWindowMean(tb.Store, DBInstance, metric, tb.Horizon,
+			func(w simtime.Interval) float64 { return dbAct.MeanOver(key, w) })
+	}
+	rec(metrics.DBBlocksRead, "blocksread")
+	rec(metrics.DBBufferHits, "bufferhits")
+	rec(metrics.DBLockWaitTime, "lockwait")
+	rec(metrics.DBIndexScans, "idxscans")
+	rec(metrics.DBSequentialScans, "seqscans")
+	tb.Sampler.Record(tb.Store, DBInstance, metrics.DBLocksHeld, tb.Horizon,
+		func(t simtime.Time) float64 { return float64(tb.Locks.HeldAt(t)) })
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package testbed
+
+import (
+	"testing"
+
+	"diads/internal/dbsys"
+	"diads/internal/metrics"
+	"diads/internal/sanperf"
+	"diads/internal/simtime"
+	"diads/internal/workload"
+)
+
+func shortConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	return c
+}
+
+// newShortTestbed builds a Figure 1 testbed with a reduced schedule so
+// unit tests stay fast.
+func newShortTestbed(t testing.TB, seed int64, runs int) *Testbed {
+	t.Helper()
+	tb, err := NewFigure1(shortConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: simtime.Time(10 * simtime.Minute), Period: 30 * simtime.Minute, Count: runs},
+	}
+	horizon := simtime.Time(10*simtime.Minute) + simtime.Time(simtime.Duration(runs)*30*simtime.Minute)
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	return tb
+}
+
+func TestFigure1TopologyShape(t *testing.T) {
+	tb, err := NewFigure1(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.Cfg.DisksOf(VolV1)); got != 4 {
+		t.Fatalf("V1 disks: %d", got)
+	}
+	if got := len(tb.Cfg.DisksOf(VolV2)); got != 6 {
+		t.Fatalf("V2 disks: %d", got)
+	}
+	if v, err := tb.Cat.VolumeOf(dbsys.TPartsupp); err != nil || v != VolV1 {
+		t.Fatalf("partsupp should live on V1: %v %v", v, err)
+	}
+	if _, err := tb.Cfg.FabricRoute(ServerDB, VolV1); err != nil {
+		t.Fatalf("DB server must reach V1: %v", err)
+	}
+	if _, err := tb.Cfg.FabricRoute(ServerDB, VolV2); err != nil {
+		t.Fatalf("DB server must reach V2: %v", err)
+	}
+	// Bystander volumes are reachable by their own servers only.
+	if _, err := tb.Cfg.FabricRoute(ServerApp1, VolV3); err != nil {
+		t.Fatalf("app1 must reach V3: %v", err)
+	}
+	if _, err := tb.Cfg.FabricRoute(ServerDB, VolV3); err == nil {
+		t.Fatalf("DB server must not see V3")
+	}
+}
+
+func TestSimulateProducesRunsAndMetrics(t *testing.T) {
+	tb := newShortTestbed(t, 2, 6)
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	if len(runs) != 6 {
+		t.Fatalf("want 6 runs, got %d", len(runs))
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i].Start <= runs[i-1].Start {
+			t.Fatalf("runs out of order")
+		}
+	}
+	// Volume metrics exist and show query activity on V1 during runs.
+	r0 := runs[0]
+	win := simtime.NewInterval(r0.Start, r0.Stop.Add(5*simtime.Minute))
+	if mean, n := tb.Store.WindowMean(string(VolV1), metrics.VolReadIO, win); n == 0 || mean <= 0 {
+		t.Fatalf("V1 readIO during run: mean=%v n=%d", mean, n)
+	}
+	// DB metrics exist.
+	if len(tb.Store.Series(DBInstance, metrics.DBBlocksRead)) == 0 {
+		t.Fatalf("DB metrics missing")
+	}
+	// Server CPU metrics exist.
+	if len(tb.Store.Series(string(ServerDB), metrics.SrvCPUUsagePct)) == 0 {
+		t.Fatalf("server metrics missing")
+	}
+	// Simulate is one-shot.
+	if err := tb.Simulate(); err == nil {
+		t.Fatalf("second Simulate should fail")
+	}
+}
+
+func TestRunsAreStableWithoutFaults(t *testing.T) {
+	tb := newShortTestbed(t, 3, 8)
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	var min, max float64
+	for i, r := range runs {
+		d := float64(r.Duration())
+		if i == 0 || d < min {
+			min = d
+		}
+		if i == 0 || d > max {
+			max = d
+		}
+	}
+	if max/min > 1.8 {
+		t.Fatalf("healthy runs should be stable: min=%.1fs max=%.1fs", min, max)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	a := newShortTestbed(t, 4, 4)
+	b := newShortTestbed(t, 4, 4)
+	if err := a.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.RunsFor("Q2"), b.RunsFor("Q2")
+	for i := range ra {
+		if ra[i].Duration() != rb[i].Duration() {
+			t.Fatalf("run %d differs: %v vs %v", i, ra[i].Duration(), rb[i].Duration())
+		}
+	}
+	// Monitoring series identical too.
+	sa := a.Store.Series(string(VolV1), metrics.VolWriteTime)
+	sb := b.Store.Series(string(VolV1), metrics.VolWriteTime)
+	if len(sa) == 0 || len(sa) != len(sb) {
+		t.Fatalf("series length mismatch: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestScheduledIndexDropChangesPlanMidway(t *testing.T) {
+	tb := newShortTestbed(t, 5, 6)
+	dropAt := simtime.Time(10*simtime.Minute) + simtime.Time(3*30*simtime.Minute) - simtime.Time(5*simtime.Minute)
+	tb.IndexDrops = []workload.ScheduledIndexDrop{{T: dropAt, Index: dbsys.IdxPartsuppPart}}
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	sigBefore := runs[0].PlanSig
+	sigAfter := runs[len(runs)-1].PlanSig
+	if sigBefore == sigAfter {
+		t.Fatalf("plan should change after the index drop")
+	}
+	// The change log records the drop.
+	if evs := tb.Cfg.Log.OfKind("IndexDropped"); len(evs) != 1 {
+		t.Fatalf("IndexDropped event missing: %v", evs)
+	}
+	// Runs after the drop are slower (seq scans of partsupp).
+	if runs[len(runs)-1].Duration() < runs[0].Duration()*2 {
+		t.Fatalf("plan regression should slow runs: %v -> %v",
+			runs[0].Duration(), runs[len(runs)-1].Duration())
+	}
+}
+
+func TestScheduledDMLChangesRecordCounts(t *testing.T) {
+	tb := newShortTestbed(t, 6, 6)
+	changeAt := simtime.Time(10*simtime.Minute) + simtime.Time(3*30*simtime.Minute) - simtime.Time(5*simtime.Minute)
+	tb.DMLs = []workload.DMLBatch{{T: changeAt, Table: dbsys.TPartsupp, Factor: 1.6}}
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	before, after := runs[0], runs[len(runs)-1]
+	if after.Op(8).ActRows <= before.Op(8).ActRows*1.3 {
+		t.Fatalf("O8 actual rows should grow: %v -> %v", before.Op(8).ActRows, after.Op(8).ActRows)
+	}
+	if before.PlanSig != after.PlanSig {
+		t.Fatalf("plan must not change on a data-property change (stale stats)")
+	}
+	if evs := tb.Cfg.Log.OfKind("DMLBatch"); len(evs) != 1 {
+		t.Fatalf("DMLBatch event missing")
+	}
+}
+
+func TestExternalLoadSlowsOverlappingRuns(t *testing.T) {
+	tb := newShortTestbed(t, 7, 8)
+	// Contention on V1's pool during the second half of the schedule.
+	half := simtime.Time(10*simtime.Minute) + simtime.Time(4*30*simtime.Minute)
+	end := simtime.Time(10*simtime.Minute) + simtime.Time(8*30*simtime.Minute)
+	tb.SAN.AddLoad(sanperf.Load{
+		Volume: VolV3, Iv: simtime.NewInterval(half, end),
+		ReadIOPS: 450, WriteIOPS: 100, Source: "wl-contend",
+	})
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := tb.RunsFor("Q2")
+	early := float64(runs[0].Duration()+runs[1].Duration()) / 2
+	late := float64(runs[6].Duration()+runs[7].Duration()) / 2
+	if late/early < 1.5 {
+		t.Fatalf("contended runs should slow: early=%.1fs late=%.1fs", early, late)
+	}
+}

@@ -1,0 +1,74 @@
+// Package topology models the configuration side of a Storage Area
+// Network as the paper describes it (Section 3.1.1): servers with HBAs and
+// FC ports, a fabric of edge and core switches, storage subsystems
+// containing pools carved into volumes that stripe across disks, plus the
+// two access-control mechanisms (zoning and LUN mapping/masking) and a
+// timestamped configuration change log.
+//
+// It is the stand-in for the configuration database of a storage
+// management tool such as IBM TotalStorage Productivity Center, which the
+// original DIADS prototype queried to construct Annotated Plan Graphs.
+package topology
+
+import "fmt"
+
+// ID uniquely identifies a component in the SAN configuration.
+type ID string
+
+// Kind classifies SAN components, covering both the physical and logical
+// entities of the paper's integrated taxonomy.
+type Kind int
+
+// Component kinds.
+const (
+	KindServer Kind = iota
+	KindHBA
+	KindPort // an FC port on a server HBA, switch, or subsystem
+	KindSwitch
+	KindSubsystem
+	KindPool
+	KindVolume
+	KindDisk
+)
+
+var kindNames = map[Kind]string{
+	KindServer:    "Server",
+	KindHBA:       "HBA",
+	KindPort:      "Port",
+	KindSwitch:    "FCSwitch",
+	KindSubsystem: "StorageSubsystem",
+	KindPool:      "Pool",
+	KindVolume:    "Volume",
+	KindDisk:      "Disk",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Component is one physical or logical SAN entity.
+type Component struct {
+	ID   ID
+	Kind Kind
+	Name string
+	// Attrs carries free-form configuration attributes (RAID level,
+	// capacity, model, role) used by screens and symptoms.
+	Attrs map[string]string
+}
+
+// Attr returns the named attribute or "".
+func (c *Component) Attr(key string) string {
+	if c.Attrs == nil {
+		return ""
+	}
+	return c.Attrs[key]
+}
+
+// String implements fmt.Stringer.
+func (c *Component) String() string {
+	return fmt.Sprintf("%s %s(%s)", c.Kind, c.Name, c.ID)
+}

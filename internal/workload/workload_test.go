@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"diads/internal/simtime"
+)
+
+func TestQueryScheduleTimes(t *testing.T) {
+	qs := QuerySchedule{Query: "Q2", Start: 100, Period: 30 * simtime.Minute, Count: 4}
+	times := qs.Times()
+	if len(times) != 4 {
+		t.Fatalf("want 4 times, got %d", len(times))
+	}
+	if times[0] != 100 || times[3] != 100+3*simtime.Time(30*simtime.Minute) {
+		t.Fatalf("times wrong: %v", times)
+	}
+}
+
+func TestSteadyLoadSingleSegment(t *testing.T) {
+	el := ExternalLoad{
+		Name: "wl", Volume: "vol-V1",
+		Window:   simtime.NewInterval(0, 1000),
+		ReadIOPS: 100, WriteIOPS: 50, DutyCycle: 1,
+	}
+	segs := el.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("steady load should be one segment, got %d", len(segs))
+	}
+	if segs[0].ReadIOPS != 100 || segs[0].Iv.Length() != 1000 {
+		t.Fatalf("segment wrong: %+v", segs[0])
+	}
+	if el.MeanIOPS() != 150 {
+		t.Fatalf("mean IOPS: %v", el.MeanIOPS())
+	}
+}
+
+func TestBurstyLoadExpansion(t *testing.T) {
+	el := ExternalLoad{
+		Name: "burst", Volume: "vol-V2",
+		Window:   simtime.NewInterval(0, 1000),
+		ReadIOPS: 200, DutyCycle: 0.25, Period: 100,
+	}
+	segs := el.Segments()
+	if len(segs) != 10 {
+		t.Fatalf("want 10 bursts, got %d", len(segs))
+	}
+	var onTime float64
+	for _, s := range segs {
+		onTime += float64(s.Iv.Length())
+		if s.ReadIOPS != 200 {
+			t.Fatalf("burst intensity wrong: %+v", s)
+		}
+	}
+	if math.Abs(onTime-250) > 1e-9 {
+		t.Fatalf("duty cycle 0.25 over 1000s should be on 250s, got %v", onTime)
+	}
+	if math.Abs(el.MeanIOPS()-50) > 1e-9 {
+		t.Fatalf("mean IOPS of bursty load: %v", el.MeanIOPS())
+	}
+}
+
+func TestBurstTruncatedAtWindowEnd(t *testing.T) {
+	el := ExternalLoad{
+		Name: "b", Volume: "v",
+		Window:   simtime.NewInterval(0, 130),
+		ReadIOPS: 10, DutyCycle: 0.5, Period: 100,
+	}
+	segs := el.Segments()
+	// Bursts: [0,50) and [100,130) truncated.
+	if len(segs) != 2 {
+		t.Fatalf("want 2 segments, got %d: %+v", len(segs), segs)
+	}
+	if segs[1].Iv.End != 130 {
+		t.Fatalf("last burst should truncate at window end: %+v", segs[1])
+	}
+}
