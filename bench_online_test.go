@@ -1,0 +1,79 @@
+// Benchmarks for the online layer: monitor ingestion, the store's
+// incremental window queries, and cache-accelerated repeated diagnosis.
+package diads_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"diads"
+	"diads/internal/apg"
+	"diads/internal/cache"
+	"diads/internal/diag"
+	"diads/internal/exec"
+	"diads/internal/metrics"
+	"diads/internal/monitor"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+)
+
+// BenchmarkOnline_MonitorObserve measures per-run ingestion cost: ring
+// update, windowed mean/variance, Page-Hinkley — the budget the monitor
+// adds to every query execution.
+func BenchmarkOnline_MonitorObserve(b *testing.B) {
+	m := monitor.New(monitor.Config{})
+	recs := make([]*exec.RunRecord, 256)
+	for i := range recs {
+		start := simtime.Time(simtime.Duration(i) * 30 * simtime.Minute)
+		recs[i] = &exec.RunRecord{
+			Query: fmt.Sprintf("Q%d", i%8),
+			RunID: fmt.Sprintf("run-%04d", i),
+			Start: start,
+			Stop:  start.Add(simtime.Duration(60 + i%5)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(recs[i%len(recs)])
+	}
+}
+
+// BenchmarkOnline_WindowStats measures the O(log n) incremental window
+// query against a year-scale series.
+func BenchmarkOnline_WindowStats(b *testing.B) {
+	s := metrics.NewStore()
+	const n = 100_000 // ~1 year of 5-minute samples
+	for i := 0; i < n; i++ {
+		s.MustAppend("vol-V1", metrics.VolReadTime,
+			metrics.Sample{T: simtime.Time(i * 300), V: 0.01 + float64(i%7)*1e-4})
+	}
+	iv := simtime.NewInterval(simtime.Time(n/4*300), simtime.Time(3*n/4*300))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := s.WindowStats("vol-V1", metrics.VolReadTime, iv); st.N == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkOnline_CachedDiagnosis measures a service-style repeated
+// diagnosis with shared APG and symptoms caches — the near-free path a
+// recurring incident takes.
+func BenchmarkOnline_CachedDiagnosis(b *testing.B) {
+	sc := scenarioFor(b, diads.ScenarioSANMisconfig)
+	in := *sc.Input
+	in.APGCache = cache.New[string, *apg.APG](8)
+	in.SDCache = cache.New[string, []symptoms.CauseInstance](8)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := diag.DiagnoseContext(ctx, &in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := res.TopCause(); !ok {
+			b.Fatal("no cause")
+		}
+	}
+}

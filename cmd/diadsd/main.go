@@ -1,0 +1,154 @@
+// Command diadsd is the always-on DIADS daemon: it drives the simulated
+// Figure 1 testbed under a configurable multi-query workload with a SAN
+// misconfiguration injected on a schedule, streams every completed run
+// through the online monitor, fans detected slowdowns out to the
+// concurrent diagnosis service's worker pool, and periodically prints
+// the ranked incident report an operator would watch.
+//
+// Usage:
+//
+//	diadsd [-seed S] [-workers N] [-chunk MIN] [-report-every N] [-runs N] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"diads/internal/faults"
+	"diads/internal/metrics"
+	"diads/internal/monitor"
+	"diads/internal/service"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	workers := flag.Int("workers", 4, "diagnosis worker pool size")
+	chunkMin := flag.Float64("chunk", 30, "simulation chunk in minutes (monitoring lag)")
+	reportEvery := flag.Int("report-every", 4, "print the incident report every N chunks")
+	runs := flag.Int("runs", 16, "Q2 runs to schedule (other queries scale along)")
+	quiet := flag.Bool("quiet", false, "suppress per-event output")
+	flag.Parse()
+
+	if err := run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "diadsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet bool) error {
+	if runs < 2 {
+		return fmt.Errorf("-runs must be at least 2, got %d", runs)
+	}
+	if reportEvery < 1 {
+		return fmt.Errorf("-report-every must be at least 1, got %d", reportEvery)
+	}
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	start := simtime.Time(10 * simtime.Minute)
+	horizon := start.Add(simtime.Duration(runs) * 30 * simtime.Minute)
+	onset := start.Add(simtime.Duration(runs/2)*30*simtime.Minute - 5*simtime.Minute)
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: start, Period: 30 * simtime.Minute, Count: runs},
+		{Query: "Q6", Start: start.Add(2 * simtime.Minute), Period: 20 * simtime.Minute, Count: 3 * runs / 2},
+		{Query: "Q14", Start: start.Add(4 * simtime.Minute), Period: 25 * simtime.Minute, Count: 6 * runs / 5},
+	}
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	if err := faults.Inject(tb, &faults.SANMisconfiguration{
+		At: onset, Until: horizon, Pool: testbed.PoolP1,
+		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+		ReadIOPS: 450, WriteIOPS: 120,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("diadsd: workload Q2/Q6/Q14, SAN misconfiguration scheduled at %s\n", onset.Clock())
+
+	mon := monitor.New(monitor.Config{})
+	tb.Engine.OnRunComplete = mon.Observe
+
+	watcher := monitor.NewWatcher(tb.Store, monitor.Config{MinRuns: 12, MinFactor: 1.3})
+	watcher.Watch(string(testbed.VolV1), metrics.VolReadTime)
+	watcher.Watch(string(testbed.VolV2), metrics.VolReadTime)
+
+	svc := service.New(service.Env{
+		Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+		SymDB: symptoms.Builtin(),
+	}, service.Config{Workers: workers})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	chunks := 0
+	gate := &monitor.Gate{}
+	tick := func(now simtime.Time) error {
+		for {
+			select {
+			case ev := <-mon.Events():
+				if !quiet {
+					fmt.Println("  event:", ev)
+				}
+				gate.Add(ev)
+			default:
+				// Diagnose only once the emitted metrics cover the
+				// event's window (the monitor can outrun the pipeline).
+				for _, ev := range gate.Release(now) {
+					err := svc.Submit(ev)
+					switch err {
+					case nil, service.ErrDuplicate:
+					case service.ErrBackpressure:
+						if !quiet {
+							fmt.Println("  shed under backpressure:", ev.RunID)
+						}
+					default:
+						return err
+					}
+				}
+				for _, a := range watcher.Poll() {
+					if !quiet {
+						fmt.Println("  alert:", a)
+					}
+				}
+				chunks++
+				if chunks%reportEvery == 0 {
+					svc.Wait() // settle in-flight diagnoses before reporting
+					fmt.Printf("\n[%s]\n%s\n", now.Clock(), svc.Registry().Render())
+				}
+				return nil
+			}
+		}
+	}
+	if err := tb.SimulateStream(simtime.Duration(chunkMin)*simtime.Minute, tick); err != nil {
+		return err
+	}
+	svc.Wait()
+	svc.Stop()
+
+	fmt.Printf("\n[final %s]\n%s\n", tb.Horizon.End.Clock(), svc.Registry().Render())
+	ms, ss := mon.Stats(), svc.Stats()
+	fmt.Printf("monitor: observed=%d events=%d dropped=%d queries=%d\n",
+		ms.Observed, ms.Events, ms.Dropped, ms.Queries)
+	fmt.Printf("service: %s\n", ss)
+
+	incs := svc.Registry().Incidents()
+	if len(incs) == 0 {
+		return fmt.Errorf("no incidents diagnosed")
+	}
+	top := incs[0]
+	fmt.Printf("\ntop incident: %s %s(%s) — impact %.1fs over %d events\n",
+		top.Query, top.Kind, top.Subject, top.EstImpact(), top.Events)
+	if top.Result != nil {
+		fmt.Println()
+		fmt.Println(top.Result.Render())
+	}
+	return nil
+}

@@ -34,7 +34,11 @@ import (
 	"diads/internal/diag"
 	"diads/internal/exec"
 	"diads/internal/experiments"
+	"diads/internal/metrics"
+	"diads/internal/monitor"
 	"diads/internal/placement"
+	"diads/internal/service"
+	"diads/internal/simtime"
 	"diads/internal/symptoms"
 	"diads/internal/testbed"
 	"diads/internal/whatif"
@@ -72,6 +76,39 @@ type (
 	// SymptomMiner proposes codebook entries from confirmed incidents
 	// (Section 7's self-evolving symptoms database).
 	SymptomMiner = symptoms.Miner
+
+	// Monitor is the online detection front-end: it ingests completed
+	// runs, maintains incremental per-query baselines, and emits
+	// SlowdownEvents (attach Observe to a testbed engine's
+	// OnRunComplete hook).
+	Monitor = monitor.Monitor
+	// MonitorConfig tunes online detection.
+	MonitorConfig = monitor.Config
+	// SlowdownEvent is one detected degradation, self-contained enough
+	// to diagnose.
+	SlowdownEvent = monitor.SlowdownEvent
+	// MetricWatcher tails monitoring series incrementally and raises
+	// component-level alerts.
+	MetricWatcher = monitor.Watcher
+	// EventGate defers slowdown events until the monitoring watermark
+	// covers their evidence window.
+	EventGate = monitor.Gate
+	// Service is the concurrent diagnosis engine: a bounded worker pool
+	// with per-(query, window) dedup, APG/symptoms caches, and a ranked
+	// incident registry.
+	Service = service.Service
+	// ServiceConfig tunes the worker pool and caches.
+	ServiceConfig = service.Config
+	// ServiceEnv is the read-only diagnosis environment jobs share.
+	ServiceEnv = service.Env
+	// Incident is one open problem in the results registry.
+	Incident = service.Incident
+	// OnlineResult is the outcome of the end-to-end online scenario.
+	OnlineResult = experiments.OnlineResult
+	// SimTime is a simulation timestamp in seconds since the epoch.
+	SimTime = simtime.Time
+	// SimDuration is a span of simulated time in seconds.
+	SimDuration = simtime.Duration
 )
 
 // Scenario identifiers: the paper's five Table 1 settings plus the
@@ -122,6 +159,36 @@ func NewWorkflow(in *Input) (*Workflow, error) {
 func BuildAPG(tb *Testbed, run *RunRecord) (*APG, error) {
 	return apg.Build(run.Plan, tb.Cfg, tb.Cat, testbed.ServerDB)
 }
+
+// NewMonitor returns an online slowdown monitor. Wire it into a testbed
+// with tb.Engine.OnRunComplete = m.Observe before simulating.
+func NewMonitor(cfg MonitorConfig) *Monitor { return monitor.New(cfg) }
+
+// NewMetricWatcher returns a watcher tailing the store's series with the
+// monitor's detection settings.
+func NewMetricWatcher(store *metrics.Store, cfg MonitorConfig) *MetricWatcher {
+	return monitor.NewWatcher(store, cfg)
+}
+
+// NewService returns a concurrent diagnosis service over the
+// environment. Call Start, Submit monitor events, and read ranked
+// incidents from Registry.
+func NewService(env ServiceEnv, cfg ServiceConfig) *Service { return service.New(env, cfg) }
+
+// ServiceEnvFromTestbed assembles the service's diagnosis environment
+// from a testbed, with the built-in symptoms database.
+func ServiceEnvFromTestbed(tb *Testbed) ServiceEnv {
+	return ServiceEnv{
+		Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+		SymDB: symptoms.Builtin(),
+	}
+}
+
+// RunOnlineScenario streams the multi-query online scenario end to end:
+// monitor, worker-pool service, injected SAN misconfiguration, ranked
+// incidents.
+func RunOnlineScenario(seed int64) (*OnlineResult, error) { return experiments.Online(seed) }
 
 // BuiltinSymptomsDB returns the in-house symptoms database for query
 // slowdowns.

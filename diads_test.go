@@ -1,6 +1,7 @@
 package diads_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -94,5 +95,51 @@ func TestFacadeInteractiveWorkflow(t *testing.T) {
 	top, ok := w.Res.TopCause()
 	if !ok || top.Cause.Kind != "lock-contention" {
 		t.Fatalf("locking scenario diagnosis: %v", top.Cause)
+	}
+}
+
+func TestFacadeOnlinePipeline(t *testing.T) {
+	// A steady workload through the facade's online wiring: the monitor
+	// must stay silent and the service idle.
+	tb, err := diads.NewTestbed(303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := diads.NewMonitor(diads.MonitorConfig{})
+	tb.Engine.OnRunComplete = mon.Observe
+
+	svc := diads.NewService(diads.ServiceEnvFromTestbed(tb), diads.ServiceConfig{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	chunks := 0
+	err = tb.SimulateStream(30*60, func(now diads.SimTime) error {
+		chunks++
+		for {
+			select {
+			case ev := <-mon.Events():
+				if err := svc.Submit(ev); err != nil {
+					return err
+				}
+			default:
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Wait()
+	svc.Stop()
+
+	if chunks == 0 {
+		t.Fatal("streaming simulation never ticked")
+	}
+	if n := mon.Stats().Events; n != 0 {
+		t.Errorf("steady workload raised %d events", n)
+	}
+	if svc.Registry().Len() != 0 {
+		t.Errorf("registry has incidents on a steady workload:\n%s", svc.Registry().Render())
 	}
 }

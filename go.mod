@@ -1,0 +1,3 @@
+module diads
+
+go 1.24

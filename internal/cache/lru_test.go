@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %d,%v, want 1,true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %d,%v, want 3,true", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("a = %d, want 10", v)
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute("k", compute)
+		if err != nil || v != 7 {
+			t.Fatalf("got %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := fmt.Errorf("boom")
+	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed compute was cached")
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := New[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 40
+				if v, ok := c.Get(k); ok && v != k*k {
+					t.Errorf("key %d = %d, want %d", k, v, k*k)
+					return
+				}
+				c.Put(k, k*k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 
+	"diads/internal/apg"
+	"diads/internal/cache"
 	"diads/internal/dbsys"
 	"diads/internal/exec"
 	"diads/internal/kde"
@@ -46,6 +48,17 @@ type Input struct {
 	SymDB *symptoms.DB
 	// Threshold is the anomaly-score threshold (default 0.8).
 	Threshold float64
+
+	// APGCache, when non-nil, caches built Annotated Plan Graphs by plan
+	// signature across diagnoses. The concurrent diagnosis service shares
+	// one cache between its workers so repeated diagnoses of the same
+	// plan skip the topology walk. Entries assume a stable SAN
+	// configuration; purge the cache after configuration changes.
+	APGCache *cache.LRU[string, *apg.APG]
+	// SDCache, when non-nil, caches symptoms-database evaluations keyed
+	// by (plan signature, fact-base fingerprint), so identical symptom
+	// sets are not re-scored entry by entry.
+	SDCache *cache.LRU[string, []symptoms.CauseInstance]
 }
 
 // threshold returns the configured or default anomaly threshold.

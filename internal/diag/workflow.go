@@ -1,6 +1,7 @@
 package diag
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,26 +54,26 @@ func NewWorkflow(in *Input) (*Workflow, error) {
 // run against the common plan, SD maps symptoms to causes, and IA scores
 // their impact.
 func (w *Workflow) Run() (*Result, error) {
-	if err := w.RunPD(); err != nil {
-		return nil, err
-	}
-	if w.Res.PD.Changed {
-		return w.Res, nil
-	}
-	if err := w.RunCO(); err != nil {
-		return nil, err
-	}
-	if err := w.RunDA(); err != nil {
-		return nil, err
-	}
-	if err := w.RunCR(); err != nil {
-		return nil, err
-	}
-	if err := w.RunSD(); err != nil {
-		return nil, err
-	}
-	if err := w.RunIA(); err != nil {
-		return nil, err
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// modules, so a worker goroutine servicing a diagnosis job can be shut
+// down mid-workflow. Workflows share no mutable state — each call
+// operates on its own Result, and the Input is only read — so RunContext
+// is safe to invoke from many goroutines over the same Input.
+func (w *Workflow) RunContext(ctx context.Context) (*Result, error) {
+	steps := []func() error{w.RunPD, w.RunCO, w.RunDA, w.RunCR, w.RunSD, w.RunIA}
+	for i, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diag: workflow canceled: %w", err)
+		}
+		if err := step(); err != nil {
+			return nil, err
+		}
+		if i == 0 && w.Res.PD.Changed {
+			return w.Res, nil
+		}
 	}
 	return w.Res, nil
 }
@@ -86,7 +87,15 @@ func (w *Workflow) RunPD() error {
 	}
 	w.Res.PD = pd
 	if !pd.Changed {
-		g, err := apg.Build(pd.CommonPlan, w.In.Cfg, w.In.Cat, w.In.Server)
+		build := func() (*apg.APG, error) {
+			return apg.Build(pd.CommonPlan, w.In.Cfg, w.In.Cat, w.In.Server)
+		}
+		var g *apg.APG
+		if w.In.APGCache != nil {
+			g, err = w.In.APGCache.GetOrCompute(pd.CommonPlan.Signature(), build)
+		} else {
+			g, err = build()
+		}
 		if err != nil {
 			return err
 		}
@@ -154,7 +163,15 @@ func (w *Workflow) RunSD() error {
 	}
 	w.Res.Facts = BuildFacts(w.In, w.Res.APG, w.Res.PD, w.Res.CO, w.Res.DA, w.Res.CR)
 	if w.In.SymDB != nil {
-		w.Res.Causes = w.In.SymDB.Evaluate(w.Res.Facts, Bindings(w.In, w.Res.APG))
+		evaluate := func() ([]symptoms.CauseInstance, error) {
+			return w.In.SymDB.Evaluate(w.Res.Facts, Bindings(w.In, w.Res.APG)), nil
+		}
+		if w.In.SDCache != nil {
+			key := w.Res.APG.Plan.Signature() + "/" + w.Res.Facts.Fingerprint()
+			w.Res.Causes, _ = w.In.SDCache.GetOrCompute(key, evaluate)
+		} else {
+			w.Res.Causes, _ = evaluate()
+		}
 	}
 	return nil
 }
@@ -174,11 +191,18 @@ func (w *Workflow) RunIA() error {
 
 // Diagnose is the one-call batch entry point.
 func Diagnose(in *Input) (*Result, error) {
+	return DiagnoseContext(context.Background(), in)
+}
+
+// DiagnoseContext is the re-entrant entry point the online service's
+// worker goroutines use: one call per job, cancelable between modules,
+// with any caches configured on the Input shared safely across calls.
+func DiagnoseContext(ctx context.Context, in *Input) (*Result, error) {
 	w, err := NewWorkflow(in)
 	if err != nil {
 		return nil, err
 	}
-	return w.Run()
+	return w.RunContext(ctx)
 }
 
 // ToIncident converts a diagnosis into a confirmed incident for the

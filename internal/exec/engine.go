@@ -69,6 +69,12 @@ type Engine struct {
 	// RecordLoad controls whether runs feed their own I/O back into the
 	// SAN model so volume metrics reflect query activity.
 	RecordLoad bool
+	// OnRunComplete, when non-nil, is invoked synchronously with every
+	// completed run record, after its load feedback has been applied. It
+	// is the streaming tap the online monitor attaches to; the callback
+	// must not retain the engine's locks (it receives only the record)
+	// and should return quickly since it runs on the execution path.
+	OnRunComplete func(*RunRecord)
 }
 
 // OpRun is the monitoring data for one operator in one run.
@@ -169,6 +175,9 @@ func (e *Engine) Run(p *plan.Plan, start simtime.Time, runID string) (*RunRecord
 	}
 	if e.RecordLoad {
 		e.feedBackLoad(rec)
+	}
+	if e.OnRunComplete != nil {
+		e.OnRunComplete(rec)
 	}
 	return rec, nil
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -26,18 +27,29 @@ func (k SeriesKey) String() string {
 	return fmt.Sprintf("%s/%s", k.Component, k.Metric)
 }
 
+// series holds one time series plus running prefix sums of value and
+// squared value, so any window aggregate (mean, variance) is two binary
+// searches and a subtraction instead of a scan. Appends stay O(1)
+// amortized, which is what lets the online monitor query baselines on
+// every new sample without re-reading history.
+type series struct {
+	samples []Sample
+	sum     []float64 // sum[i] = Σ samples[:i+1].V
+	sum2    []float64 // sum2[i] = Σ samples[:i+1].V²
+}
+
 // Store is the central monitoring repository, standing in for the
 // management tool's DB2 time-series database. Samples for a series must be
 // appended in non-decreasing time order, which is how the sampler produces
-// them.
+// them. All methods are safe for concurrent use.
 type Store struct {
 	mu     sync.RWMutex
-	series map[SeriesKey][]Sample
+	series map[SeriesKey]*series
 }
 
 // NewStore returns an empty monitoring store.
 func NewStore() *Store {
-	return &Store{series: make(map[SeriesKey][]Sample)}
+	return &Store{series: make(map[SeriesKey]*series)}
 }
 
 // Append records one sample for (component, metric). It returns an error if
@@ -47,11 +59,21 @@ func (s *Store) Append(component string, metric Metric, sample Sample) error {
 	defer s.mu.Unlock()
 	k := SeriesKey{Component: component, Metric: metric}
 	ser := s.series[k]
-	if n := len(ser); n > 0 && sample.T < ser[n-1].T {
-		return fmt.Errorf("metrics: out-of-order sample for %s: %v after %v",
-			k, sample.T, ser[n-1].T)
+	if ser == nil {
+		ser = &series{}
+		s.series[k] = ser
 	}
-	s.series[k] = append(ser, sample)
+	if n := len(ser.samples); n > 0 && sample.T < ser.samples[n-1].T {
+		return fmt.Errorf("metrics: out-of-order sample for %s: %v after %v",
+			k, sample.T, ser.samples[n-1].T)
+	}
+	var cum, cum2 float64
+	if n := len(ser.samples); n > 0 {
+		cum, cum2 = ser.sum[n-1], ser.sum2[n-1]
+	}
+	ser.samples = append(ser.samples, sample)
+	ser.sum = append(ser.sum, cum+sample.V)
+	ser.sum2 = append(ser.sum2, cum2+sample.V*sample.V)
 	return nil
 }
 
@@ -63,41 +85,127 @@ func (s *Store) MustAppend(component string, metric Metric, sample Sample) {
 	}
 }
 
+// get returns the series for (component, metric), or nil. Callers must
+// hold at least the read lock.
+func (s *Store) get(component string, metric Metric) *series {
+	return s.series[SeriesKey{Component: component, Metric: metric}]
+}
+
 // Series returns all samples of a series in time order. The returned slice
 // is a copy and may be retained by the caller.
 func (s *Store) Series(component string, metric Metric) []Sample {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ser := s.series[SeriesKey{Component: component, Metric: metric}]
-	out := make([]Sample, len(ser))
-	copy(out, ser)
+	ser := s.get(component, metric)
+	if ser == nil {
+		return nil
+	}
+	out := make([]Sample, len(ser.samples))
+	copy(out, ser.samples)
 	return out
+}
+
+// bounds returns the index range [lo, hi) of samples inside iv. Callers
+// must hold at least the read lock.
+func (ser *series) bounds(iv simtime.Interval) (lo, hi int) {
+	lo = sort.Search(len(ser.samples), func(i int) bool { return ser.samples[i].T >= iv.Start })
+	hi = sort.Search(len(ser.samples), func(i int) bool { return ser.samples[i].T >= iv.End })
+	return lo, hi
 }
 
 // Window returns the samples of a series whose timestamps lie in iv.
 func (s *Store) Window(component string, metric Metric, iv simtime.Interval) []Sample {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ser := s.series[SeriesKey{Component: component, Metric: metric}]
-	lo := sort.Search(len(ser), func(i int) bool { return ser[i].T >= iv.Start })
-	hi := sort.Search(len(ser), func(i int) bool { return ser[i].T >= iv.End })
+	ser := s.get(component, metric)
+	if ser == nil {
+		return nil
+	}
+	lo, hi := ser.bounds(iv)
 	out := make([]Sample, hi-lo)
-	copy(out, ser[lo:hi])
+	copy(out, ser.samples[lo:hi])
 	return out
 }
 
 // WindowMean returns the mean value of the series over iv and the number of
-// samples it covers. With zero samples the mean is 0.
+// samples it covers. With zero samples the mean is 0. It runs in O(log n)
+// via the prefix sums, independent of the window's length.
 func (s *Store) WindowMean(component string, metric Metric, iv simtime.Interval) (mean float64, n int) {
-	w := s.Window(component, metric, iv)
-	if len(w) == 0 {
-		return 0, 0
+	st := s.WindowStats(component, metric, iv)
+	return st.Mean, st.N
+}
+
+// Stats summarizes a window of one series.
+type Stats struct {
+	N    int
+	Sum  float64
+	Mean float64
+	// Std is the population standard deviation of the window.
+	Std float64
+}
+
+// WindowStats returns count, sum, mean, and standard deviation of the
+// series over iv in O(log n), using the per-series prefix sums. This is
+// the incremental query the online monitor relies on: evaluating a
+// baseline window costs the same whether the store holds a day or a year
+// of samples.
+func (s *Store) WindowStats(component string, metric Metric, iv simtime.Interval) Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.get(component, metric)
+	if ser == nil {
+		return Stats{}
 	}
-	var sum float64
-	for _, smp := range w {
-		sum += smp.V
+	lo, hi := ser.bounds(iv)
+	n := hi - lo
+	if n <= 0 {
+		return Stats{}
 	}
-	return sum / float64(len(w)), len(w)
+	sum, sum2 := ser.sum[hi-1], ser.sum2[hi-1]
+	if lo > 0 {
+		sum -= ser.sum[lo-1]
+		sum2 -= ser.sum2[lo-1]
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if variance < 0 { // floating-point cancellation
+		variance = 0
+	}
+	return Stats{N: n, Sum: sum, Mean: mean, Std: math.Sqrt(variance)}
+}
+
+// Since returns a copy of the samples appended to the series after the
+// given cursor position, plus the new cursor. A zero cursor starts at the
+// beginning; feeding the returned cursor back yields only samples that
+// arrived in between. This is how streaming consumers (the monitor's
+// metric watcher) tail the store without re-scanning it.
+func (s *Store) Since(component string, metric Metric, cursor int) ([]Sample, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.get(component, metric)
+	if ser == nil {
+		return nil, cursor
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(ser.samples) {
+		return nil, len(ser.samples)
+	}
+	out := make([]Sample, len(ser.samples)-cursor)
+	copy(out, ser.samples[cursor:])
+	return out, len(ser.samples)
+}
+
+// Latest returns the most recent sample of the series, if any.
+func (s *Store) Latest(component string, metric Metric) (Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.get(component, metric)
+	if ser == nil || len(ser.samples) == 0 {
+		return Sample{}, false
+	}
+	return ser.samples[len(ser.samples)-1], true
 }
 
 // Keys returns every series key in the store, sorted for deterministic
@@ -150,7 +258,7 @@ func (s *Store) Len() int {
 	defer s.mu.RUnlock()
 	n := 0
 	for _, ser := range s.series {
-		n += len(ser)
+		n += len(ser.samples)
 	}
 	return n
 }

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"diads/internal/simtime"
+)
+
+func fill(s *Store, component string, n int, v func(i int) float64) {
+	for i := 0; i < n; i++ {
+		s.MustAppend(component, VolReadIO, Sample{T: simtime.Time(i * 300), V: v(i)})
+	}
+}
+
+func TestWindowStatsMatchesDirectComputation(t *testing.T) {
+	s := NewStore()
+	fill(s, "vol-V1", 100, func(i int) float64 { return 10 + 3*math.Sin(float64(i)) })
+	iv := simtime.NewInterval(simtime.Time(20*300), simtime.Time(70*300))
+
+	w := s.Window("vol-V1", VolReadIO, iv)
+	var sum, sum2 float64
+	for _, smp := range w {
+		sum += smp.V
+		sum2 += smp.V * smp.V
+	}
+	mean := sum / float64(len(w))
+	std := math.Sqrt(sum2/float64(len(w)) - mean*mean)
+
+	st := s.WindowStats("vol-V1", VolReadIO, iv)
+	if st.N != len(w) {
+		t.Fatalf("N = %d, want %d", st.N, len(w))
+	}
+	if math.Abs(st.Mean-mean) > 1e-9 || math.Abs(st.Std-std) > 1e-6 {
+		t.Errorf("stats = %+v, want mean %.9f std %.9f", st, mean, std)
+	}
+	gotMean, n := s.WindowMean("vol-V1", VolReadIO, iv)
+	if n != st.N || math.Abs(gotMean-st.Mean) > 1e-12 {
+		t.Errorf("WindowMean = %.9f/%d disagrees with WindowStats", gotMean, n)
+	}
+}
+
+func TestWindowStatsEmptyAndMissing(t *testing.T) {
+	s := NewStore()
+	if st := s.WindowStats("nope", VolReadIO, simtime.NewInterval(0, 100)); st.N != 0 || st.Mean != 0 {
+		t.Errorf("missing series stats = %+v, want zero", st)
+	}
+	fill(s, "vol-V1", 10, func(int) float64 { return 5 })
+	if st := s.WindowStats("vol-V1", VolReadIO, simtime.NewInterval(1e6, 2e6)); st.N != 0 {
+		t.Errorf("empty window stats = %+v, want zero", st)
+	}
+	// Constant series: variance must clamp to exactly zero, not a
+	// negative cancellation residue.
+	st := s.WindowStats("vol-V1", VolReadIO, simtime.NewInterval(0, 1e6))
+	if st.Std != 0 {
+		t.Errorf("constant series std = %g, want 0", st.Std)
+	}
+}
+
+func TestSinceCursorSeesOnlyNewSamples(t *testing.T) {
+	s := NewStore()
+	fill(s, "vol-V1", 5, func(i int) float64 { return float64(i) })
+
+	got, cur := s.Since("vol-V1", VolReadIO, 0)
+	if len(got) != 5 || cur != 5 {
+		t.Fatalf("first read: %d samples, cursor %d, want 5/5", len(got), cur)
+	}
+	if again, cur2 := s.Since("vol-V1", VolReadIO, cur); len(again) != 0 || cur2 != 5 {
+		t.Fatalf("idle read: %d samples, cursor %d, want 0/5", len(again), cur2)
+	}
+	s.MustAppend("vol-V1", VolReadIO, Sample{T: simtime.Time(5 * 300), V: 42})
+	tail, cur3 := s.Since("vol-V1", VolReadIO, cur)
+	if len(tail) != 1 || tail[0].V != 42 || cur3 != 6 {
+		t.Fatalf("tail read: %v cursor %d, want one sample of 42, cursor 6", tail, cur3)
+	}
+	if missing, mcur := s.Since("ghost", VolReadIO, 3); missing != nil || mcur != 3 {
+		t.Errorf("missing series must keep the cursor: got %v/%d", missing, mcur)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Latest("vol-V1", VolReadIO); ok {
+		t.Error("Latest on empty store reported a sample")
+	}
+	fill(s, "vol-V1", 3, func(i int) float64 { return float64(i) })
+	smp, ok := s.Latest("vol-V1", VolReadIO)
+	if !ok || smp.V != 2 {
+		t.Errorf("Latest = %v/%v, want V=2", smp, ok)
+	}
+}
+
+// TestConcurrentAppendAndQuery exercises the store the way the online
+// pipeline does — the sampler appending while monitor and diagnosis
+// workers read — and must pass under -race.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	s := NewStore()
+	const writers, perWriter, reads = 8, 200, 200
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			comp := fmt.Sprintf("vol-%d", w)
+			for i := 0; i < perWriter; i++ {
+				s.MustAppend(comp, VolReadIO, Sample{T: simtime.Time(i), V: float64(i)})
+				if i%2 == 0 {
+					s.MustAppend(comp, VolReadTime, Sample{T: simtime.Time(i), V: 0.01})
+				}
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			cursor := 0
+			comp := fmt.Sprintf("vol-%d", r%writers)
+			for i := 0; i < reads; i++ {
+				iv := simtime.NewInterval(0, simtime.Time(perWriter))
+				st := s.WindowStats(comp, VolReadIO, iv)
+				if st.N > 0 && (st.Mean < 0 || st.Std < 0) {
+					t.Errorf("inconsistent stats under concurrency: %+v", st)
+					return
+				}
+				var tail []Sample
+				tail, cursor = s.Since(comp, VolReadIO, cursor)
+				for j := 1; j < len(tail); j++ {
+					if tail[j].T < tail[j-1].T {
+						t.Error("Since returned out-of-order samples")
+						return
+					}
+				}
+				s.Len()
+				s.Latest(comp, VolReadIO)
+			}
+		}(r)
+	}
+	wg.Wait()
+	readers.Wait()
+
+	if got, want := s.Len(), writers*(perWriter+perWriter/2); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		comp := fmt.Sprintf("vol-%d", w)
+		st := s.WindowStats(comp, VolReadIO, simtime.NewInterval(0, simtime.Time(perWriter)))
+		if st.N != perWriter {
+			t.Errorf("%s: N = %d, want %d", comp, st.N, perWriter)
+		}
+		wantMean := float64(perWriter-1) / 2
+		if math.Abs(st.Mean-wantMean) > 1e-9 {
+			t.Errorf("%s: mean = %f, want %f", comp, st.Mean, wantMean)
+		}
+	}
+}
+
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	s := NewStore()
+	s.MustAppend("c", VolReadIO, Sample{T: 100, V: 1})
+	if err := s.Append("c", VolReadIO, Sample{T: 50, V: 2}); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed (non-decreasing).
+	if err := s.Append("c", VolReadIO, Sample{T: 100, V: 3}); err != nil {
+		t.Fatalf("equal-timestamp append rejected: %v", err)
+	}
+}

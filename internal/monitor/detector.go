@@ -1,0 +1,84 @@
+package monitor
+
+import "math"
+
+// baseline maintains the online statistics of one observed stream over a
+// sliding window: a fixed-capacity ring of accepted values with running
+// sum and sum of squares (so mean and variance are O(1) per update, no
+// re-scan), plus a Page-Hinkley accumulator for change-point detection of
+// sustained drifts too small to trip the per-observation threshold.
+type baseline struct {
+	ring      []float64
+	head, n   int
+	sum, sum2 float64
+	phSum     float64 // Page-Hinkley cumulative deviation
+	phMin     float64 // running minimum of phSum
+}
+
+func newBaseline(capacity int) *baseline {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &baseline{ring: make([]float64, capacity)}
+}
+
+// push accepts v into the sliding window, evicting the oldest value once
+// the ring is full.
+func (b *baseline) push(v float64) {
+	if b.n == len(b.ring) {
+		old := b.ring[b.head]
+		b.sum -= old
+		b.sum2 -= old * old
+	} else {
+		b.n++
+	}
+	b.ring[b.head] = v
+	b.sum += v
+	b.sum2 += v * v
+	b.head = (b.head + 1) % len(b.ring)
+}
+
+func (b *baseline) count() int { return b.n }
+
+func (b *baseline) mean() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return b.sum / float64(b.n)
+}
+
+func (b *baseline) std() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	m := b.mean()
+	v := b.sum2/float64(b.n) - m*m
+	if v < 0 { // floating-point cancellation
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// pageHinkley feeds the Page-Hinkley test with the relative deviation of
+// v from the current baseline mean. delta is the tolerated drift
+// fraction. It reports detected when the accumulated drift crossed
+// lambda (the accumulator then resets so one regime shift fires once),
+// and elevated while the accumulator is a quarter of the way there —
+// callers freeze baseline updates during elevation so a slow drift is
+// judged against the pre-drift reference instead of being absorbed into
+// it.
+func (b *baseline) pageHinkley(v, delta, lambda float64) (detected, elevated bool) {
+	m := b.mean()
+	if m <= 0 {
+		return false, false
+	}
+	b.phSum += v/m - 1 - delta
+	if b.phSum < b.phMin {
+		b.phMin = b.phSum
+	}
+	if b.phSum-b.phMin > lambda {
+		b.phSum, b.phMin = 0, 0
+		return true, false
+	}
+	return false, b.phSum-b.phMin > lambda/4
+}

@@ -1,0 +1,306 @@
+// Package monitor is the online detection front-end of the reproduction's
+// always-on operating mode. Where the paper's workflow (Figure 2) starts
+// from an administrator noticing a slow query, the monitor watches the
+// stream of completed runs itself: it maintains an incremental
+// per-query baseline — a ring-buffered history with online mean/variance
+// and Page-Hinkley change-point detection, never re-scanning the full
+// history — and emits typed SlowdownEvents the moment a run degrades
+// beyond the configured threshold. Events carry a labeled run-history
+// snapshot, so a downstream diagnosis worker has everything Module PD
+// onwards needs without touching the monitor again.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"diads/internal/exec"
+	"diads/internal/simtime"
+)
+
+// EventKind classifies how a slowdown was detected.
+type EventKind string
+
+const (
+	// KindThreshold marks a single run exceeding the baseline by the
+	// configured factor and sigma multiple.
+	KindThreshold EventKind = "threshold"
+	// KindChangePoint marks a sustained drift caught by the Page-Hinkley
+	// test before any single run tripped the threshold.
+	KindChangePoint EventKind = "change-point"
+)
+
+// SlowdownEvent is one detected degradation of a query, self-contained
+// enough to diagnose: it snapshots the ring-buffered run history with
+// satisfactory/unsatisfactory labels in the form diag.Input consumes.
+type SlowdownEvent struct {
+	Query string
+	RunID string
+	Kind  EventKind
+	// At is when the offending run completed.
+	At simtime.Time
+	// Duration is the offending run's time; Baseline the sliding-window
+	// mean and Sigma its standard deviation at detection time.
+	Duration, Baseline, Sigma simtime.Duration
+	// Factor is Duration / Baseline.
+	Factor float64
+	// Window spans the snapshot's runs; the diagnosis reads monitoring
+	// data over it.
+	Window simtime.Interval
+	// Runs is the history snapshot (baseline runs plus recent anomalous
+	// ones, in time order) and Satisfactory its labels.
+	Runs         []*exec.RunRecord
+	Satisfactory map[string]bool
+}
+
+// String implements fmt.Stringer.
+func (ev SlowdownEvent) String() string {
+	return fmt.Sprintf("%s %s %s: %s vs baseline %s (%.2fx, %d-run window)",
+		ev.At.Clock(), ev.Query, ev.Kind, ev.Duration, ev.Baseline, ev.Factor, len(ev.Runs))
+}
+
+// Config tunes detection.
+type Config struct {
+	// History is the per-query ring capacity (default 32 runs).
+	History int
+	// MinRuns arms detection only after this many baseline runs
+	// (default 6; at least 3, the diagnosis workflow's floor).
+	MinRuns int
+	// SigmaK is the sigma multiple a run must exceed (default 3).
+	SigmaK float64
+	// MinFactor is the minimum slowdown ratio over the baseline mean
+	// (default 1.4), guarding against sigma collapsing on quiet streams.
+	MinFactor float64
+	// PHDelta is the Page-Hinkley tolerated drift fraction (default 0.05).
+	PHDelta float64
+	// PHLambda is the Page-Hinkley detection threshold in cumulative
+	// relative-drift units (default 1.0).
+	PHLambda float64
+	// Buffer is the event channel capacity (default 64). When the
+	// consumer falls behind, further events are counted as dropped
+	// rather than blocking the execution path.
+	Buffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.History <= 0 {
+		c.History = 32
+	}
+	if c.MinRuns <= 0 {
+		c.MinRuns = 6
+	}
+	if c.MinRuns < 3 {
+		c.MinRuns = 3
+	}
+	if c.SigmaK <= 0 {
+		c.SigmaK = 3
+	}
+	if c.MinFactor <= 0 {
+		c.MinFactor = 1.4
+	}
+	if c.PHDelta <= 0 {
+		c.PHDelta = 0.05
+	}
+	if c.PHLambda <= 0 {
+		c.PHLambda = 1.0
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 64
+	}
+	return c
+}
+
+// histEntry is one remembered run plus its label.
+type histEntry struct {
+	rec *exec.RunRecord
+	sat bool
+}
+
+// queryState is the incremental state of one query's stream.
+type queryState struct {
+	hist []histEntry // ring of recent runs, oldest first after slicing
+	base *baseline   // sliding stats over satisfactory runs only
+}
+
+// Stats are the monitor's lifetime counters.
+type Stats struct {
+	Observed int64 // runs ingested
+	Events   int64 // events emitted
+	Dropped  int64 // events lost to a full channel
+	Queries  int   // distinct queries tracked
+}
+
+// Monitor ingests completed runs (attach Observe to
+// exec.Engine.OnRunComplete) and emits SlowdownEvents. All methods are
+// safe for concurrent use.
+type Monitor struct {
+	cfg    Config
+	mu     sync.Mutex
+	states map[string]*queryState
+	events chan SlowdownEvent
+	stats  Stats
+}
+
+// New returns a monitor with the given configuration.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:    cfg,
+		states: make(map[string]*queryState),
+		events: make(chan SlowdownEvent, cfg.Buffer),
+	}
+}
+
+// Events is the stream of detected slowdowns. The channel is never
+// closed; drain it with a select or poll its length.
+func (m *Monitor) Events() <-chan SlowdownEvent { return m.events }
+
+// Stats returns the lifetime counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Queries = len(m.states)
+	return st
+}
+
+// Observe ingests one completed run: O(1) baseline update plus, when the
+// run (or the accumulated drift) degrades past the thresholds, one event.
+// It is the callback to hang on exec.Engine.OnRunComplete.
+func (m *Monitor) Observe(rec *exec.RunRecord) {
+	if rec == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stats.Observed++
+	st := m.states[rec.Query]
+	if st == nil {
+		st = &queryState{base: newBaseline(m.cfg.History)}
+		m.states[rec.Query] = st
+	}
+
+	dur := float64(rec.Duration())
+	mean, sigma, n := st.base.mean(), st.base.std(), st.base.count()
+	armed := n >= m.cfg.MinRuns
+
+	kind := EventKind("")
+	elevated := false
+	if armed && dur > mean*m.cfg.MinFactor && dur > mean+m.cfg.SigmaK*sigma {
+		kind = KindThreshold
+	} else if armed {
+		// Page-Hinkley catches sustained drifts too small for the
+		// threshold; while its accumulator is elevated the baseline
+		// freezes so the drift is judged against the pre-drift regime.
+		var detected bool
+		detected, elevated = st.base.pageHinkley(dur, m.cfg.PHDelta, m.cfg.PHLambda)
+		if detected {
+			kind = KindChangePoint
+		}
+	}
+
+	sat := kind == ""
+	if sat && !elevated {
+		// Only satisfactory runs feed the baseline, so a degraded regime
+		// cannot poison the reference it is judged against.
+		st.base.push(dur)
+	}
+	st.hist = append(st.hist, histEntry{rec: rec, sat: sat})
+	if len(st.hist) > m.cfg.History {
+		st.hist = st.hist[len(st.hist)-m.cfg.History:]
+	}
+
+	var ev SlowdownEvent
+	if kind != "" {
+		ev = m.buildEvent(rec, st, kind, dur, mean, sigma)
+		m.stats.Events++
+	}
+	m.mu.Unlock()
+
+	if kind != "" {
+		select {
+		case m.events <- ev:
+		default:
+			m.mu.Lock()
+			m.stats.Dropped++
+			m.stats.Events--
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Gate defers slowdown events until the monitoring pipeline's watermark
+// has passed their evidence window. The monitor emits an event the
+// moment the offending run completes, but a run can finish inside a
+// chunk whose metrics are not yet emitted; diagnosing then would read a
+// half-written window and make results timing-dependent. Drivers drain
+// the event channel into the gate and submit only what Release returns
+// for the current watermark (in a chunked simulation, the chunk
+// boundary onChunk reports).
+type Gate struct {
+	mu      sync.Mutex
+	pending []SlowdownEvent
+}
+
+// Add defers an event until its window is fully covered.
+func (g *Gate) Add(ev SlowdownEvent) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pending = append(g.pending, ev)
+}
+
+// Release returns, in arrival order, every deferred event whose window
+// ends at or before the watermark.
+func (g *Gate) Release(watermark simtime.Time) []SlowdownEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var ready []SlowdownEvent
+	kept := g.pending[:0]
+	for _, ev := range g.pending {
+		if ev.Window.End <= watermark {
+			ready = append(ready, ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	g.pending = kept
+	return ready
+}
+
+// Pending returns the number of deferred events.
+func (g *Gate) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// buildEvent snapshots the query's history into a self-contained event.
+// Callers hold the mutex.
+func (m *Monitor) buildEvent(rec *exec.RunRecord, st *queryState, kind EventKind, dur, mean, sigma float64) SlowdownEvent {
+	runs := make([]*exec.RunRecord, 0, len(st.hist))
+	labels := make(map[string]bool, len(st.hist))
+	winStart := rec.Start
+	for _, h := range st.hist {
+		runs = append(runs, h.rec)
+		labels[h.rec.RunID] = h.sat
+		if h.rec.Start < winStart {
+			winStart = h.rec.Start
+		}
+	}
+	factor := 0.0
+	if mean > 0 {
+		factor = dur / mean
+	}
+	return SlowdownEvent{
+		Query:        rec.Query,
+		RunID:        rec.RunID,
+		Kind:         kind,
+		At:           rec.Stop,
+		Duration:     simtime.Duration(dur),
+		Baseline:     simtime.Duration(mean),
+		Sigma:        simtime.Duration(sigma),
+		Factor:       factor,
+		Window:       simtime.NewInterval(winStart, rec.Stop.Add(simtime.Minute)),
+		Runs:         runs,
+		Satisfactory: labels,
+	}
+}

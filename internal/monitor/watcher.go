@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+)
+
+// MetricAlert is one anomalous monitoring sample: a watched component
+// metric deviating from its own sliding baseline. Alerts are advisory
+// context for the operator console — query slowdowns themselves are
+// detected from run records — but they surface component-level trouble
+// (a volume's response time climbing) before any query degrades enough
+// to fire.
+type MetricAlert struct {
+	Component string
+	Metric    metrics.Metric
+	T         simtime.Time
+	Value     float64
+	Baseline  float64
+	Sigma     float64
+}
+
+// String implements fmt.Stringer.
+func (a MetricAlert) String() string {
+	return fmt.Sprintf("%s %s/%s: %.3g vs baseline %.3g",
+		a.T.Clock(), a.Component, a.Metric, a.Value, a.Baseline)
+}
+
+// watchState tracks one watched series: a cursor into the store and a
+// sliding baseline over accepted samples.
+type watchState struct {
+	cursor int
+	base   *baseline
+}
+
+// Watcher tails selected series of a metrics.Store as a stream: each Poll
+// reads only the samples appended since the previous one (via the
+// store's cursor queries — no re-scan) and pushes them through the same
+// incremental baseline machinery the run monitor uses.
+type Watcher struct {
+	cfg   Config
+	store *metrics.Store
+	mu    sync.Mutex
+	state map[metrics.SeriesKey]*watchState
+}
+
+// NewWatcher returns a watcher over the store with the given detection
+// configuration (History, MinRuns, SigmaK, and MinFactor apply).
+func NewWatcher(store *metrics.Store, cfg Config) *Watcher {
+	return &Watcher{
+		cfg:   cfg.withDefaults(),
+		store: store,
+		state: make(map[metrics.SeriesKey]*watchState),
+	}
+}
+
+// Watch registers a series to tail. Watching an already-watched series is
+// a no-op.
+func (w *Watcher) Watch(component string, metric metrics.Metric) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := metrics.SeriesKey{Component: component, Metric: metric}
+	if _, ok := w.state[k]; !ok {
+		w.state[k] = &watchState{base: newBaseline(w.cfg.History)}
+	}
+}
+
+// Poll ingests all samples that arrived since the last call and returns
+// the alerts they raised, in deterministic series order.
+func (w *Watcher) Poll() []MetricAlert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := make([]metrics.SeriesKey, 0, len(w.state))
+	for k := range w.state {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Component != keys[j].Component {
+			return keys[i].Component < keys[j].Component
+		}
+		return keys[i].Metric < keys[j].Metric
+	})
+	var alerts []MetricAlert
+	for _, k := range keys {
+		st := w.state[k]
+		var newSamples []metrics.Sample
+		newSamples, st.cursor = w.store.Since(k.Component, k.Metric, st.cursor)
+		for _, smp := range newSamples {
+			mean, sigma := st.base.mean(), st.base.std()
+			armed := st.base.count() >= w.cfg.MinRuns
+			if armed && smp.V > mean*w.cfg.MinFactor && smp.V > mean+w.cfg.SigmaK*sigma {
+				alerts = append(alerts, MetricAlert{
+					Component: k.Component, Metric: k.Metric,
+					T: smp.T, Value: smp.V, Baseline: mean, Sigma: sigma,
+				})
+				continue // anomalous samples stay out of the baseline
+			}
+			st.base.push(smp.V)
+		}
+	}
+	return alerts
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"diads/internal/diag"
+	"diads/internal/monitor"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+)
+
+// PlanChangeKind is the synthetic cause kind of incidents whose diagnosis
+// found a plan change (Module PD short-circuits before Module SD runs).
+const PlanChangeKind = "plan-change"
+
+// Incident is one open problem: a root cause aggregated across every
+// diagnosis that identified it for a query.
+type Incident struct {
+	Query string
+	// Kind and Subject name the root cause (PlanChangeKind for plan
+	// regressions, otherwise a symptoms-database cause kind).
+	Kind    string
+	Subject string
+	// Confidence is the latest diagnosis's confidence (percent).
+	Confidence float64
+	// ImpactPct is the latest Module IA impact score (percent of the
+	// extra plan time explained).
+	ImpactPct float64
+	// TotalExtra accumulates the per-event slowdown (duration minus
+	// baseline), the magnitude the incident has cost so far.
+	TotalExtra simtime.Duration
+	// Events counts the slowdown events attributed to the incident.
+	Events int
+	// FirstSeen and LastSeen bound the incident's lifetime.
+	FirstSeen, LastSeen simtime.Time
+	// Window is the latest diagnosis window.
+	Window simtime.Interval
+	// Result is the latest full diagnosis.
+	Result *diag.Result
+}
+
+// EstImpact is the incident's ranking key: the cumulative slowdown
+// seconds the cause explains (Module IA's share of each event's extra
+// running time).
+func (inc *Incident) EstImpact() float64 {
+	share := inc.ImpactPct / 100
+	if inc.Kind == PlanChangeKind {
+		share = 1 // the plan change explains the whole regression
+	}
+	return share * inc.TotalExtra.Seconds()
+}
+
+// incidentKey groups diagnoses into incidents.
+type incidentKey struct {
+	query, kind, subject string
+}
+
+// Registry aggregates diagnoses into ranked open incidents. All methods
+// are safe for concurrent use by the service's workers.
+type Registry struct {
+	mu   sync.Mutex
+	open map[incidentKey]*Incident
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{open: make(map[incidentKey]*Incident)}
+}
+
+// Record folds one diagnosis into the registry: the top-ranked cause (or
+// the plan change) becomes or updates an incident.
+func (r *Registry) Record(ev monitor.SlowdownEvent, res *diag.Result) {
+	if res == nil || res.PD == nil {
+		return
+	}
+	kind, subject, confidence, impact := topCauseOf(res)
+	if kind == "" {
+		return // nothing above low confidence; not an incident
+	}
+	extra := ev.Duration - ev.Baseline
+	if extra < 0 {
+		extra = 0
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := incidentKey{query: ev.Query, kind: kind, subject: subject}
+	inc := r.open[k]
+	if inc == nil {
+		inc = &Incident{
+			Query: ev.Query, Kind: kind, Subject: subject,
+			FirstSeen: ev.At,
+		}
+		r.open[k] = inc
+	}
+	inc.Confidence = confidence
+	inc.ImpactPct = impact
+	inc.TotalExtra += extra
+	inc.Events++
+	inc.LastSeen = ev.At
+	inc.Window = ev.Window
+	inc.Result = res
+}
+
+// topCauseOf extracts the leading root cause of a diagnosis.
+func topCauseOf(res *diag.Result) (kind, subject string, confidence, impact float64) {
+	if res.PD.Changed {
+		subj := "plan"
+		for _, c := range res.PD.Causes {
+			if c.Explains {
+				subj = string(c.Event.Subject)
+				break
+			}
+		}
+		return PlanChangeKind, subj, 100, 100
+	}
+	if top, ok := res.TopCause(); ok {
+		return top.Cause.Kind, top.Cause.Subject, top.Cause.Confidence, top.Score
+	}
+	// Fall back to the raw SD ranking when IA produced no items.
+	for _, c := range res.Causes {
+		if c.Category != symptoms.Low {
+			return c.Kind, c.Subject, c.Confidence, 0
+		}
+	}
+	return "", "", 0, 0
+}
+
+// Incidents returns the open incidents ranked by estimated impact
+// (descending), ties broken by recency then name for determinism.
+func (r *Registry) Incidents() []Incident {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Incident, 0, len(r.open))
+	for _, inc := range r.open {
+		out = append(out, *inc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstImpact() != out[j].EstImpact() {
+			return out[i].EstImpact() > out[j].EstImpact()
+		}
+		if out[i].LastSeen != out[j].LastSeen {
+			return out[i].LastSeen > out[j].LastSeen
+		}
+		if out[i].Query != out[j].Query {
+			return out[i].Query < out[j].Query
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Len returns the number of open incidents.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Render formats the ranked incident report an operator reads.
+func (r *Registry) Render() string {
+	incs := r.Incidents()
+	var b strings.Builder
+	b.WriteString("open incidents (ranked by estimated impact)\n")
+	b.WriteString(strings.Repeat("=", 78) + "\n")
+	if len(incs) == 0 {
+		b.WriteString("  none\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-4s %-5s %-36s %-14s %6s %6s %9s\n",
+		"rank", "query", "cause(subject)", "last seen", "events", "conf%", "impact(s)")
+	for i, inc := range incs {
+		fmt.Fprintf(&b, "  %-4d %-5s %-36s %-14s %6d %6.0f %9.1f\n",
+			i+1, inc.Query, fmt.Sprintf("%s(%s)", inc.Kind, inc.Subject),
+			inc.LastSeen.Clock(), inc.Events, inc.Confidence, inc.EstImpact())
+	}
+	return b.String()
+}

@@ -1,0 +1,324 @@
+// Package service turns the monitor's SlowdownEvents into diagnoses at
+// fleet scale: a bounded worker pool drains a job queue with
+// backpressure, in-flight jobs are deduplicated per (query, window),
+// built Annotated Plan Graphs and symptoms-database evaluations are
+// LRU-cached so repeated diagnoses of the same plan are near-free, and
+// completed diagnoses feed a results registry that ranks open incidents
+// by estimated impact (Module IA's score weighted by the slowdown each
+// incident explains).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"diads/internal/apg"
+	"diads/internal/cache"
+	"diads/internal/dbsys"
+	"diads/internal/diag"
+	"diads/internal/metrics"
+	"diads/internal/monitor"
+	"diads/internal/opt"
+	"diads/internal/symptoms"
+	"diads/internal/topology"
+)
+
+// Submit errors.
+var (
+	// ErrBackpressure reports a full job queue: the caller should shed
+	// or retry later; the event is counted as rejected.
+	ErrBackpressure = errors.New("service: job queue full")
+	// ErrDuplicate reports that an equivalent job is already queued,
+	// running, or freshly diagnosed.
+	ErrDuplicate = errors.New("service: duplicate job for (query, window)")
+	// ErrStopped reports a Submit after Stop.
+	ErrStopped = errors.New("service: stopped")
+)
+
+// Env is the diagnosis environment shared by every job: the monitoring
+// store and the configuration state diag.Input requires. It is read-only
+// from the service's perspective.
+type Env struct {
+	Store  *metrics.Store
+	Cfg    *topology.Config
+	Cat    *dbsys.Catalog
+	Opt    *opt.Optimizer
+	Params *dbsys.Params
+	Stats  dbsys.Stats
+	Server topology.ID
+	SymDB  *symptoms.DB
+	// Threshold overrides the anomaly-score threshold (0 = default).
+	Threshold float64
+}
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// Queue is the job queue depth before Submit reports backpressure
+	// (default 64).
+	Queue int
+	// APGCacheSize bounds the shared APG cache (default 32 plans).
+	APGCacheSize int
+	// SDCacheSize bounds the symptoms-evaluation cache (default 128).
+	SDCacheSize int
+	// ResultCacheSize bounds the completed-diagnosis cache that absorbs
+	// re-submissions of an already-diagnosed (query, window) (default 128).
+	ResultCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.APGCacheSize <= 0 {
+		c.APGCacheSize = 32
+	}
+	if c.SDCacheSize <= 0 {
+		c.SDCacheSize = 128
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	return c
+}
+
+// jobKey identifies a diagnosis job for deduplication: same query, same
+// evidence window.
+type jobKey struct {
+	query      string
+	start, end float64 // simtime seconds of the event window
+}
+
+type job struct {
+	key jobKey
+	ev  monitor.SlowdownEvent
+}
+
+// Stats are the service's lifetime counters.
+type Stats struct {
+	Submitted int64 // Submit calls
+	Deduped   int64 // suppressed as queued/running/cached duplicates
+	Rejected  int64 // shed under backpressure
+	Completed int64 // diagnoses finished
+	Failed    int64 // diagnoses that returned an error
+	APG       cache.CacheStats
+	SD        cache.CacheStats
+	Results   cache.CacheStats
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"submitted=%d deduped=%d rejected=%d completed=%d failed=%d apg-cache=%d/%d sd-cache=%d/%d",
+		s.Submitted, s.Deduped, s.Rejected, s.Completed, s.Failed,
+		s.APG.Hits, s.APG.Hits+s.APG.Misses, s.SD.Hits, s.SD.Hits+s.SD.Misses)
+}
+
+// Service is the concurrent diagnosis engine. Construct with New, Start
+// it, Submit events, and Stop (or cancel the context) to drain.
+type Service struct {
+	cfg Config
+	env Env
+
+	jobs    chan job
+	quit    chan struct{} // closed by Stop; retires the ctx watcher
+	mu      sync.Mutex
+	idle    sync.Cond // signaled when pending drains
+	pending map[jobKey]bool // queued or running
+	stopped bool
+
+	apgs    *cache.LRU[string, *apg.APG]
+	sd      *cache.LRU[string, []symptoms.CauseInstance]
+	results *cache.LRU[jobKey, *diag.Result]
+	reg     *Registry
+
+	wg sync.WaitGroup
+
+	submitted, deduped, rejected, completed, failed atomic.Int64
+}
+
+// New returns a service over the environment.
+func New(env Env, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		env:     env,
+		jobs:    make(chan job, cfg.Queue),
+		quit:    make(chan struct{}),
+		pending: make(map[jobKey]bool),
+		apgs:    cache.New[string, *apg.APG](cfg.APGCacheSize),
+		sd:      cache.New[string, []symptoms.CauseInstance](cfg.SDCacheSize),
+		results: cache.New[jobKey, *diag.Result](cfg.ResultCacheSize),
+		reg:     NewRegistry(),
+	}
+	s.idle.L = &s.mu
+	return s
+}
+
+// Registry exposes the ranked-incident registry.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Stats returns the lifetime counters, including cache effectiveness.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Deduped:   s.deduped.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		APG:       s.apgs.Stats(),
+		SD:        s.sd.Stats(),
+		Results:   s.results.Stats(),
+	}
+}
+
+// Start launches the worker pool. Workers exit when the context is
+// canceled or Stop closes the queue. Canceling the context abandons any
+// still-queued jobs: they are dropped from the pending set so Wait does
+// not block on work nothing will ever run.
+func (s *Service) Start(ctx context.Context) {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.stopped = true
+			clear(s.pending)
+			s.idle.Broadcast()
+			s.mu.Unlock()
+		case <-s.quit:
+		}
+	}()
+}
+
+// Stop closes the queue and waits for in-flight diagnoses to finish.
+// Submit returns ErrStopped afterwards. Jobs still queued when the
+// workers exit (possible when the start context was canceled) are
+// abandoned and removed from the pending set so Wait cannot block on
+// them.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	already := s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if !already {
+		close(s.quit)
+		close(s.jobs)
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	clear(s.pending)
+	s.idle.Broadcast()
+	s.mu.Unlock()
+}
+
+// Wait blocks until every currently queued job has been diagnosed. It is
+// a quiescence barrier for drivers that interleave submission and
+// reporting; new Submits remain allowed.
+func (s *Service) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) > 0 {
+		s.idle.Wait()
+	}
+}
+
+// Submit enqueues a diagnosis job for the event. It never blocks: a full
+// queue returns ErrBackpressure, an already-pending or already-diagnosed
+// (query, window) returns ErrDuplicate (bumping the incident's
+// recurrence when a cached result exists).
+func (s *Service) Submit(ev monitor.SlowdownEvent) error {
+	s.submitted.Add(1)
+	key := jobKey{query: ev.Query, start: float64(ev.Window.Start), end: float64(ev.Window.End)}
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if s.pending[key] {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		return ErrDuplicate
+	}
+	if res, ok := s.results.Get(key); ok {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		s.reg.Record(ev, res) // recurrence of a known incident
+		return ErrDuplicate
+	}
+	// The enqueue happens under the mutex so it cannot race Stop's
+	// close of the channel: Stop flips stopped before closing, and
+	// every Submit re-checks stopped under the same lock.
+	select {
+	case s.jobs <- job{key: key, ev: ev}:
+		s.pending[key] = true
+		s.mu.Unlock()
+		return nil
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return ErrBackpressure
+	}
+}
+
+// worker drains the queue until shutdown.
+func (s *Service) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j, ok := <-s.jobs:
+			if !ok {
+				return
+			}
+			s.run(ctx, j)
+		}
+	}
+}
+
+// run executes one diagnosis job.
+func (s *Service) run(ctx context.Context, j job) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, j.key)
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	}()
+
+	in := &diag.Input{
+		Query:        j.ev.Query,
+		Runs:         j.ev.Runs,
+		Satisfactory: j.ev.Satisfactory,
+		Store:        s.env.Store,
+		Cfg:          s.env.Cfg,
+		Cat:          s.env.Cat,
+		Opt:          s.env.Opt,
+		Params:       s.env.Params,
+		Stats:        s.env.Stats,
+		Server:       s.env.Server,
+		SymDB:        s.env.SymDB,
+		Threshold:    s.env.Threshold,
+		APGCache:     s.apgs,
+		SDCache:      s.sd,
+	}
+	res, err := diag.DiagnoseContext(ctx, in)
+	if err != nil {
+		s.failed.Add(1)
+		return
+	}
+	s.results.Put(j.key, res)
+	s.reg.Record(j.ev, res)
+	s.completed.Add(1)
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diads/internal/diag"
+	"diads/internal/faults"
+	"diads/internal/monitor"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+	"diads/internal/workload"
+)
+
+// slowdownRig simulates the scenario-1 testbed (SAN misconfiguration
+// degrading Q2) through a monitor and returns the environment plus the
+// emitted events.
+func slowdownRig(t *testing.T, seed int64) (Env, []monitor.SlowdownEvent) {
+	t.Helper()
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 16
+	start := simtime.Time(10 * simtime.Minute)
+	horizon := start.Add(runs * 30 * simtime.Minute)
+	onset := start.Add(runs/2*30*simtime.Minute - 5*simtime.Minute)
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: start, Period: 30 * simtime.Minute, Count: runs},
+	}
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	if err := faults.Inject(tb, &faults.SANMisconfiguration{
+		At: onset, Until: horizon, Pool: testbed.PoolP1,
+		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+		ReadIOPS: 450, WriteIOPS: 120,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(monitor.Config{})
+	tb.Engine.OnRunComplete = mon.Observe
+	if err := tb.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []monitor.SlowdownEvent
+	for {
+		select {
+		case ev := <-mon.Events():
+			evs = append(evs, ev)
+		default:
+			if len(evs) == 0 {
+				t.Fatal("monitor emitted no events for an injected fault")
+			}
+			return Env{
+				Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+				Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+				SymDB: symptoms.Builtin(),
+			}, evs
+		}
+	}
+}
+
+func TestServiceDiagnosesEventsConcurrently(t *testing.T) {
+	env, evs := slowdownRig(t, 42)
+	svc := New(env, Config{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+	for _, ev := range evs {
+		if err := svc.Submit(ev); err != nil {
+			t.Fatalf("submit %s: %v", ev.RunID, err)
+		}
+	}
+	svc.Wait()
+	svc.Stop()
+
+	st := svc.Stats()
+	if st.Completed != int64(len(evs)) || st.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want %d/0", st.Completed, st.Failed, len(evs))
+	}
+	if st.APG.Hits == 0 {
+		t.Errorf("APG cache never hit across %d same-plan diagnoses", len(evs))
+	}
+	incs := svc.Registry().Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incidents registered")
+	}
+	top := incs[0]
+	if top.Kind != symptoms.CauseSANMisconfig || top.Subject != string(testbed.VolV1) {
+		t.Errorf("top incident = %s(%s), want %s(%s)",
+			top.Kind, top.Subject, symptoms.CauseSANMisconfig, testbed.VolV1)
+	}
+	if top.Events != len(evs) {
+		t.Errorf("top incident aggregated %d events, want %d", top.Events, len(evs))
+	}
+	if top.EstImpact() <= 0 {
+		t.Errorf("estimated impact = %.2f, want > 0", top.EstImpact())
+	}
+}
+
+func TestSubmitDeduplicatesAndExertsBackpressure(t *testing.T) {
+	env, evs := slowdownRig(t, 43)
+	ev := evs[0]
+
+	// No workers started: jobs stay queued, so duplicates and overflow
+	// are observable deterministically.
+	svc := New(env, Config{Workers: 1, Queue: 1})
+	if err := svc.Submit(ev); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if err := svc.Submit(ev); err != ErrDuplicate {
+		t.Errorf("duplicate submit = %v, want ErrDuplicate", err)
+	}
+	other := ev
+	other.Window = simtime.NewInterval(ev.Window.Start, ev.Window.End.Add(simtime.Minute))
+	if err := svc.Submit(other); err != ErrBackpressure {
+		t.Errorf("overflow submit = %v, want ErrBackpressure", err)
+	}
+	st := svc.Stats()
+	if st.Deduped != 1 || st.Rejected != 1 {
+		t.Errorf("deduped=%d rejected=%d, want 1/1", st.Deduped, st.Rejected)
+	}
+
+	// After the queue drains, the same window is served from the result
+	// cache and still counts the recurrence in the registry.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+	svc.Wait()
+	if err := svc.Submit(ev); err != ErrDuplicate {
+		t.Errorf("cached re-submit = %v, want ErrDuplicate", err)
+	}
+	svc.Stop()
+	if err := svc.Submit(ev); err != ErrStopped {
+		t.Errorf("submit after stop = %v, want ErrStopped", err)
+	}
+	incs := svc.Registry().Incidents()
+	if len(incs) == 0 {
+		t.Fatal("no incidents")
+	}
+	if incs[0].Events != 2 {
+		t.Errorf("events = %d, want 2 (diagnosis + cached recurrence)", incs[0].Events)
+	}
+}
+
+func TestServiceContextCancelStopsWorkers(t *testing.T) {
+	env, evs := slowdownRig(t, 44)
+	svc := New(env, Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.Start(ctx)
+	for _, ev := range evs {
+		_ = svc.Submit(ev)
+	}
+	cancel()
+	svc.Stop() // must return despite canceled workers
+
+	// Cancellation abandons queued jobs, so Wait must not hang on them
+	// and further Submits must be refused.
+	done := make(chan struct{})
+	go func() { svc.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait deadlocked on jobs abandoned by cancellation")
+	}
+	if err := svc.Submit(evs[0]); err != ErrStopped {
+		t.Errorf("submit after cancel = %v, want ErrStopped", err)
+	}
+}
+
+func TestSubmitStopRaceDoesNotPanic(t *testing.T) {
+	env, evs := slowdownRig(t, 45)
+	for round := 0; round < 20; round++ {
+		svc := New(env, Config{Workers: 1})
+		ctx, cancel := context.WithCancel(context.Background())
+		svc.Start(ctx)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, ev := range evs {
+				ev.Window.End = ev.Window.End.Add(simtime.Duration(i)) // distinct keys
+				_ = svc.Submit(ev)                                     // must never panic on closed channel
+			}
+		}()
+		svc.Stop()
+		wg.Wait()
+		cancel()
+	}
+}
+
+func TestRegistryRanksByEstimatedImpact(t *testing.T) {
+	reg := NewRegistry()
+	mk := func(query, kind, subject string, conf, impact float64) (*diag.Result, monitor.SlowdownEvent) {
+		ci := symptoms.CauseInstance{Kind: kind, Subject: subject, Confidence: conf, Category: symptoms.High}
+		res := &diag.Result{
+			Query:  query,
+			PD:     &diag.PDResult{},
+			Causes: []symptoms.CauseInstance{ci},
+			IA:     &diag.IAResult{Items: []diag.ImpactItem{{Cause: ci, Score: impact}}},
+		}
+		ev := monitor.SlowdownEvent{
+			Query: query, RunID: "r", At: 100,
+			Duration: 120, Baseline: 60,
+			Window: simtime.NewInterval(0, 100),
+		}
+		return res, ev
+	}
+
+	resA, evA := mk("Q2", "cause-a", "vol-V1", 90, 100) // 60s extra × 100%
+	resB, evB := mk("Q6", "cause-b", "vol-V2", 90, 10)  // 60s extra × 10%
+	reg.Record(evB, resB)
+	reg.Record(evA, resA)
+	reg.Record(evA, resA) // recurrence doubles A's magnitude
+
+	incs := reg.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2", len(incs))
+	}
+	if incs[0].Kind != "cause-a" {
+		t.Errorf("top = %s, want cause-a (bigger impact)", incs[0].Kind)
+	}
+	if incs[0].Events != 2 || incs[0].TotalExtra != 120 {
+		t.Errorf("aggregation: events=%d extra=%v, want 2/120s", incs[0].Events, incs[0].TotalExtra)
+	}
+	if got := incs[0].EstImpact(); got != 120 {
+		t.Errorf("EstImpact = %.1f, want 120", got)
+	}
+	rendered := reg.Render()
+	for _, want := range []string{"cause-a(vol-V1)", "cause-b(vol-V2)", "rank"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}

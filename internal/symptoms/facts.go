@@ -15,6 +15,7 @@ package symptoms
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -126,6 +127,19 @@ func (fb *FactBase) All() []Fact {
 
 // Len returns the number of facts.
 func (fb *FactBase) Len() int { return len(fb.facts) }
+
+// Fingerprint returns a stable digest of the fact base: two bases with
+// the same facts (names, scores, timestamps) produce the same string.
+// The concurrent diagnosis service keys cached symptoms-database
+// evaluations by it, so re-diagnosing an identical window skips
+// re-evaluating every entry.
+func (fb *FactBase) Fingerprint() string {
+	h := fnv.New64a()
+	for _, f := range fb.All() {
+		fmt.Fprintf(h, "%s=%.9g@%.9g;%t|", f.Name, f.Score, float64(f.T), f.HasT)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // String implements fmt.Stringer, listing facts one per line.
 func (fb *FactBase) String() string {

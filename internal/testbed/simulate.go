@@ -6,13 +6,15 @@ import (
 
 	"diads/internal/exec"
 	"diads/internal/metrics"
-	"diads/internal/sanperf"
 	"diads/internal/simtime"
 	"diads/internal/topology"
 )
 
 // cpuPerRun is the CPU utilization a running query adds on the DB server.
 const cpuPerRun = 0.25
+
+// horizonMargin pads the monitoring horizon past the last activity.
+const horizonMargin = 10 * simtime.Minute
 
 // timelineEvent is one chronological step of the simulation.
 type timelineEvent struct {
@@ -27,21 +29,83 @@ type timelineEvent struct {
 // samples every component's behaviour into the metric store. Simulate may
 // only be called once per testbed.
 func (tb *Testbed) Simulate() error {
+	return tb.SimulateStream(0, nil)
+}
+
+// SimulateStream plays the same timeline in chunks, the testbed's online
+// operating mode: after all events up to each chunk boundary have
+// executed, the monitoring pipeline emits the samples for that chunk
+// (monitoring lags execution, as in production) and onChunk is invoked
+// with the boundary time so a streaming consumer — the monitor/service
+// pipeline — can poll metrics and drain slowdown events "live". Runs
+// themselves stream through exec.Engine.OnRunComplete the moment they
+// finish. A chunk of 0 plays the whole timeline as one chunk. Like
+// Simulate, it may only be called once per testbed.
+func (tb *Testbed) SimulateStream(chunk simtime.Duration, onChunk func(now simtime.Time) error) error {
 	if tb.simulated {
 		return fmt.Errorf("testbed: already simulated")
 	}
 	tb.simulated = true
 
-	var end simtime.Time
+	var loadEnd simtime.Time
 	for _, l := range tb.Loads {
 		for _, seg := range l.Segments() {
 			tb.SAN.AddLoad(seg)
 		}
-		if l.Window.End > end {
-			end = l.Window.End
+		if l.Window.End > loadEnd {
+			loadEnd = l.Window.End
 		}
 	}
 
+	events := tb.timeline()
+
+	if chunk <= 0 {
+		for _, ev := range events {
+			if err := ev.run(); err != nil {
+				return err
+			}
+		}
+		end := tb.activityEnd(loadEnd)
+		tb.Horizon = simtime.NewInterval(0, end)
+		tb.emitMetrics(tb.Horizon)
+		if onChunk != nil {
+			return onChunk(end)
+		}
+		return nil
+	}
+
+	i := 0
+	var emitted simtime.Time
+	for boundary := simtime.Time(chunk); ; boundary = boundary.Add(chunk) {
+		for i < len(events) && events[i].t < boundary {
+			if err := events[i].run(); err != nil {
+				return err
+			}
+			i++
+		}
+		stop := boundary
+		done := false
+		if i == len(events) {
+			if end := tb.activityEnd(loadEnd); end <= boundary {
+				stop, done = end, true
+			}
+		}
+		tb.emitMetrics(simtime.NewInterval(emitted, stop))
+		emitted = stop
+		if onChunk != nil {
+			if err := onChunk(stop); err != nil {
+				return err
+			}
+		}
+		if done {
+			tb.Horizon = simtime.NewInterval(0, stop)
+			return nil
+		}
+	}
+}
+
+// timeline assembles the chronologically sorted event list.
+func (tb *Testbed) timeline() []timelineEvent {
 	var events []timelineEvent
 	runSeq := 0
 	for _, qs := range tb.Schedules {
@@ -96,22 +160,19 @@ func (tb *Testbed) Simulate() error {
 		}
 		return events[i].prio < events[j].prio
 	})
+	return events
+}
 
-	for _, ev := range events {
-		if err := ev.run(); err != nil {
-			return err
-		}
-	}
-
+// activityEnd returns the monitoring horizon end: the last activity
+// (external load or run) plus a margin.
+func (tb *Testbed) activityEnd(loadEnd simtime.Time) simtime.Time {
+	end := loadEnd
 	for _, r := range tb.Runs {
 		if r.Stop > end {
 			end = r.Stop
 		}
 	}
-	tb.Horizon = simtime.NewInterval(0, end.Add(10*simtime.Minute))
-
-	tb.emitMetrics()
-	return nil
+	return end.Add(horizonMargin)
 }
 
 // runQuery optimizes and executes one scheduled run.
@@ -129,6 +190,15 @@ func (tb *Testbed) runQuery(query string, t simtime.Time, seq *int) error {
 	tb.Runs = append(tb.Runs, rec)
 	// The run occupies the server CPU while it executes.
 	tb.CPULoad.Add("cpu", simtime.NewInterval(rec.Start, rec.Stop), cpuPerRun, runID)
+	// Its activity rates become the database-level monitoring series.
+	if dur := float64(rec.Duration()); dur > 0 {
+		iv := simtime.NewInterval(rec.Start, rec.Stop)
+		tb.dbAct.Add("blocksread", iv, rec.PhysIO/dur, runID)
+		tb.dbAct.Add("bufferhits", iv, rec.CacheHit/dur, runID)
+		tb.dbAct.Add("lockwait", iv, float64(rec.LockWait)/dur, runID)
+		tb.dbAct.Add("idxscans", iv, float64(rec.IdxScans)/dur, runID)
+		tb.dbAct.Add("seqscans", iv, float64(rec.SeqScans)/dur, runID)
+	}
 	return nil
 }
 
@@ -144,46 +214,39 @@ func (tb *Testbed) RunsFor(query string) []*exec.RunRecord {
 	return out
 }
 
-// emitMetrics runs the monitoring pipeline over the whole horizon.
-func (tb *Testbed) emitMetrics() {
-	tb.SAN.EmitMetrics(tb.Store, tb.Sampler, tb.Horizon)
-	tb.SAN.EmitNetworkMetrics(tb.Store, tb.Sampler, tb.Horizon, ServerDB)
+// emitMetrics runs the monitoring pipeline over one window. Streaming
+// simulation calls it once per chunk with consecutive windows; batch
+// simulation once with the full horizon. Windows must not overlap, since
+// the store rejects out-of-order samples.
+func (tb *Testbed) emitMetrics(iv simtime.Interval) {
+	if iv.Length() <= 0 {
+		return
+	}
+	tb.SAN.EmitMetrics(tb.Store, tb.Sampler, iv)
+	tb.SAN.EmitNetworkMetrics(tb.Store, tb.Sampler, iv, ServerDB)
 
 	// Server metrics: CPU from the load timeline (exact interval means, as
 	// a real agent's counters would report); memory mostly flat.
-	tb.Sampler.RecordWindowMean(tb.Store, string(ServerDB), metrics.SrvCPUUsagePct, tb.Horizon,
+	tb.Sampler.RecordWindowMean(tb.Store, string(ServerDB), metrics.SrvCPUUsagePct, iv,
 		func(w simtime.Interval) float64 {
 			return 100 * minf(0.08+tb.CPULoad.MeanOver("cpu", w), 1)
 		})
-	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvPhysMemoryPct, tb.Horizon,
+	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvPhysMemoryPct, iv,
 		func(simtime.Time) float64 { return 62 })
-	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvProcesses, tb.Horizon,
+	tb.Sampler.Record(tb.Store, string(ServerDB), metrics.SrvProcesses, iv,
 		func(simtime.Time) float64 { return 180 })
 
 	// Database metrics: per-run activity rates plus lock-manager state.
-	dbAct := sanperf.NewTimeline()
-	for _, r := range tb.Runs {
-		dur := float64(r.Duration())
-		if dur <= 0 {
-			continue
-		}
-		iv := simtime.NewInterval(r.Start, r.Stop)
-		dbAct.Add("blocksread", iv, r.PhysIO/dur, r.RunID)
-		dbAct.Add("bufferhits", iv, r.CacheHit/dur, r.RunID)
-		dbAct.Add("lockwait", iv, float64(r.LockWait)/dur, r.RunID)
-		dbAct.Add("idxscans", iv, float64(r.IdxScans)/dur, r.RunID)
-		dbAct.Add("seqscans", iv, float64(r.SeqScans)/dur, r.RunID)
-	}
 	rec := func(metric metrics.Metric, key string) {
-		tb.Sampler.RecordWindowMean(tb.Store, DBInstance, metric, tb.Horizon,
-			func(w simtime.Interval) float64 { return dbAct.MeanOver(key, w) })
+		tb.Sampler.RecordWindowMean(tb.Store, DBInstance, metric, iv,
+			func(w simtime.Interval) float64 { return tb.dbAct.MeanOver(key, w) })
 	}
 	rec(metrics.DBBlocksRead, "blocksread")
 	rec(metrics.DBBufferHits, "bufferhits")
 	rec(metrics.DBLockWaitTime, "lockwait")
 	rec(metrics.DBIndexScans, "idxscans")
 	rec(metrics.DBSequentialScans, "seqscans")
-	tb.Sampler.Record(tb.Store, DBInstance, metrics.DBLocksHeld, tb.Horizon,
+	tb.Sampler.Record(tb.Store, DBInstance, metrics.DBLocksHeld, iv,
 		func(t simtime.Time) float64 { return float64(tb.Locks.HeldAt(t)) })
 }
 

@@ -94,6 +94,11 @@ type Testbed struct {
 	// Horizon is the simulated interval after Simulate.
 	Horizon simtime.Interval
 
+	// dbAct accumulates per-run database activity rates as runs
+	// complete, so metrics can be emitted incrementally during
+	// SimulateStream.
+	dbAct *sanperf.Timeline
+
 	simulated bool
 }
 
@@ -178,6 +183,7 @@ func NewFigure1(conf Config) (*Testbed, error) {
 		Store:   metrics.NewStore(),
 		Sampler: metrics.NewSampler(conf.MonitorNoise, simtime.NewRand(conf.Seed, "sampler")),
 		Stats:   stats,
+		dbAct:   sanperf.NewTimeline(),
 	}
 	tb.Engine = &exec.Engine{
 		Cat:        cat,
