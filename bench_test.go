@@ -5,6 +5,7 @@
 package diads_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,6 +18,14 @@ import (
 	"diads/internal/simtime"
 	"diads/internal/testbed"
 )
+
+// allScenarioIDs lists every scenario (the paper's five plus the
+// extension scenarios) for engine-wide sweeps.
+var allScenarioIDs = []diads.ScenarioID{
+	diads.ScenarioSANMisconfig, diads.ScenarioTwoPools, diads.ScenarioDataProperty,
+	diads.ScenarioConcurrentFaults, diads.ScenarioLockingNoise, diads.ScenarioPlanRegression,
+	diads.ScenarioCPUSaturation, diads.ScenarioDiskFailure, diads.ScenarioRAIDRebuild,
+}
 
 const benchSeed = 4242
 
@@ -166,6 +175,30 @@ func BenchmarkBaseline_Comparison(b *testing.B) {
 		if !res.DIADSCorrect {
 			b.Fatal("DIADS misdiagnosed the comparison scenario")
 		}
+	}
+}
+
+// BenchmarkPipeline_Sequential and _Concurrent compare the module-DAG
+// engine's two execution modes on every scenario: sequential runs one
+// module at a time (the old step-list workflow's schedule), concurrent
+// lets independent modules (DA ∥ CR) overlap. Reports are byte-identical
+// between the two (see experiments.TestEngineParityAcrossScenarios);
+// only the wall time differs.
+func BenchmarkPipeline_Sequential(b *testing.B) { benchPipelineEngine(b, 1) }
+func BenchmarkPipeline_Concurrent(b *testing.B) { benchPipelineEngine(b, diag.DefaultParallelism) }
+
+func benchPipelineEngine(b *testing.B, maxParallel int) {
+	for _, id := range allScenarioIDs {
+		b.Run(fmt.Sprintf("scenario%d", id), func(b *testing.B) {
+			sc := scenarioFor(b, id)
+			cfg := diads.DiagnoseConfig{MaxParallel: maxParallel}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := diads.DiagnoseWith(context.Background(), sc.Input, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

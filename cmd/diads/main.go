@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|report|all]
+//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|timing|report|all]
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 func main() {
 	scenario := flag.Int("scenario", 1, "scenario number (1-9, see DESIGN.md)")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|report|all")
+	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|timing|report|all")
 	component := flag.String("component", string(testbed.VolV1), "component for the APG metric panel")
 	flag.Parse()
 
@@ -69,6 +69,9 @@ func run(id experiments.ScenarioID, seed int64, screen, component string) error 
 	}
 	if show("workflow") {
 		fmt.Println(console.WorkflowScreen(w))
+	}
+	if show("timing") {
+		fmt.Println(console.TimingPanel(res.Trace))
 	}
 	if show("report") {
 		fmt.Println(res.Render())

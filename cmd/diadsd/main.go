@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"diads/internal/console"
 	"diads/internal/faults"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
@@ -138,6 +139,11 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 	fmt.Printf("monitor: observed=%d events=%d dropped=%d queries=%d\n",
 		ms.Observed, ms.Events, ms.Dropped, ms.Queries)
 	fmt.Printf("service: %s\n", ss)
+	fmt.Println("per-module totals across all diagnoses:")
+	for _, st := range svc.ModuleStats() {
+		fmt.Printf("  %-6s runs=%-3d cache-hits=%-3d skipped=%-3d wall=%s\n",
+			st.Module, st.Runs, st.CacheHits, st.Skipped, st.Wall)
+	}
 
 	incs := svc.Registry().Incidents()
 	if len(incs) == 0 {
@@ -149,6 +155,9 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 	if top.Result != nil {
 		fmt.Println()
 		fmt.Println(top.Result.Render())
+	}
+	if top.Trace != nil {
+		fmt.Println(console.TimingPanel(top.Trace))
 	}
 	return nil
 }

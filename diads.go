@@ -30,12 +30,16 @@
 package diads
 
 import (
+	"context"
+
 	"diads/internal/apg"
 	"diads/internal/diag"
 	"diads/internal/exec"
 	"diads/internal/experiments"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
+	"diads/internal/pipeline"
+	"diads/internal/pipelines"
 	"diads/internal/placement"
 	"diads/internal/service"
 	"diads/internal/simtime"
@@ -53,6 +57,17 @@ type (
 	Result = diag.Result
 	// Workflow runs modules one at a time (the interactive mode).
 	Workflow = diag.Workflow
+	// DiagnoseConfig tunes the module-DAG engine (parallelism, hooks).
+	DiagnoseConfig = diag.RunConfig
+	// Trace is a pipeline run's per-module execution record: wall time,
+	// cache hit/miss, and skip/short-circuit decisions.
+	Trace = pipeline.Trace
+	// ModuleTrace is one module's entry in a Trace.
+	ModuleTrace = pipeline.ModuleTrace
+	// PipelineRegistry catalogs the registered diagnosis strategies.
+	PipelineRegistry = pipeline.Registry
+	// Blackboard is the shared result space a pipeline run writes to.
+	Blackboard = pipeline.Blackboard
 	// APG is the Annotated Plan Graph.
 	APG = apg.APG
 	// RunRecord is the monitoring record of one query run.
@@ -144,14 +159,33 @@ func BuildScenario(id ScenarioID, seed int64) (*Scenario, error) {
 	return experiments.Build(id, seed)
 }
 
-// Diagnose runs the full batch workflow of Figure 2.
+// Diagnose runs the full batch workflow of Figure 2 through the module
+// DAG engine (independent modules, such as DA and CR, run concurrently;
+// the Result carries the per-module Trace).
 func Diagnose(in *Input) (*Result, error) {
 	return diag.Diagnose(in)
+}
+
+// DiagnoseWith is Diagnose with engine configuration — e.g.
+// MaxParallel: 1 forces sequential module execution, which produces a
+// byte-identical report.
+func DiagnoseWith(ctx context.Context, in *Input, cfg DiagnoseConfig) (*Result, error) {
+	return diag.DiagnoseWith(ctx, in, cfg)
 }
 
 // NewWorkflow prepares an interactive workflow over the input.
 func NewWorkflow(in *Input) (*Workflow, error) {
 	return diag.NewWorkflow(in)
+}
+
+// Pipelines returns the registry of diagnosis strategies: "diads" (the
+// full Figure 2 DAG) plus the "san-only" and "db-only" silo baselines.
+func Pipelines() *PipelineRegistry { return pipelines.Registry() }
+
+// RunPipeline executes a registered diagnosis strategy by name over the
+// input, returning the blackboard of module outputs and the run's trace.
+func RunPipeline(ctx context.Context, name string, in *Input) (*Blackboard, *Trace, error) {
+	return pipelines.Run(ctx, name, in)
 }
 
 // BuildAPG constructs the Annotated Plan Graph for a run's plan in the

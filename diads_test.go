@@ -143,3 +143,46 @@ func TestFacadeOnlinePipeline(t *testing.T) {
 		t.Errorf("registry has incidents on a steady workload:\n%s", svc.Registry().Render())
 	}
 }
+
+func TestFacadePipelineRegistry(t *testing.T) {
+	names := diads.Pipelines().Names()
+	want := map[string]bool{"diads": false, "san-only": false, "db-only": false}
+	for _, n := range names {
+		want[n] = true
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("registry missing pipeline %q (have %v)", n, names)
+		}
+	}
+
+	sc, err := diads.BuildScenario(diads.ScenarioSANMisconfig, 305)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A facade diagnosis carries the engine trace; sequential execution
+	// through DiagnoseWith renders identically.
+	res, err := diads.Diagnose(sc.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Module("da") == nil {
+		t.Fatalf("facade diagnosis should carry the workflow trace, got %+v", res.Trace)
+	}
+	seq, err := diads.DiagnoseWith(context.Background(), sc.Input, diads.DiagnoseConfig{MaxParallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != res.Render() {
+		t.Fatal("sequential and concurrent facade diagnoses disagree")
+	}
+
+	// A silo strategy runs by name over the same input.
+	bb, trace, err := diads.RunPipeline(context.Background(), "san-only", sc.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb == nil || trace == nil || trace.Pipeline != "san-only" {
+		t.Fatalf("silo pipeline run wrong: trace=%+v", trace)
+	}
+}

@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+
+	"diads/internal/diag"
+	"diads/internal/pipeline"
+)
+
+// KeyReport is the blackboard key (and module name) under which a silo
+// pipeline stores its *Report.
+const KeyReport = "report"
+
+// Silo pipeline registry names.
+const (
+	PipelineSANOnly = "san-only"
+	PipelineDBOnly  = "db-only"
+)
+
+// SANOnlyPipeline returns the SAN-only silo tool as a pipeline over the
+// shared diagnosis blackboard, so it registers and runs through the same
+// engine as the full DIADS DAG.
+func SANOnlyPipeline() *pipeline.Pipeline { return siloPipeline(PipelineSANOnly, SANOnly) }
+
+// DBOnlyPipeline returns the database-only silo tool as a pipeline.
+func DBOnlyPipeline() *pipeline.Pipeline { return siloPipeline(PipelineDBOnly, DBOnly) }
+
+// siloPipeline wraps a silo analyzer as a single-module DAG reading the
+// seeded diag.Input and producing a Report.
+func siloPipeline(name string, tool func(*diag.Input) (*Report, error)) *pipeline.Pipeline {
+	m := &pipeline.Module{
+		Name: KeyReport,
+		Run: func(ctx context.Context, bb *pipeline.Blackboard) (any, error) {
+			in, ok := pipeline.Get[*diag.Input](bb, diag.KeyInput)
+			if !ok {
+				return nil, fmt.Errorf("baseline: blackboard has no %q (seed it with diag.NewBoard)", diag.KeyInput)
+			}
+			return tool(in)
+		},
+	}
+	p, err := pipeline.New(name, m)
+	if err != nil {
+		panic(err) // static construction; unreachable
+	}
+	return p
+}

@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"diads/internal/apg"
 	"diads/internal/diag"
 	"diads/internal/exec"
 	"diads/internal/metrics"
+	"diads/internal/pipeline"
 	"diads/internal/plan"
 	"diads/internal/simtime"
 )
@@ -150,6 +152,33 @@ func WorkflowScreen(w *diag.Workflow) string {
 		}
 	default:
 		b.WriteString("(no module executed yet)\n")
+	}
+	return b.String()
+}
+
+// TimingPanel renders the workflow-timing panel: one row per module of
+// the diagnosis DAG with its status, measured wall time, and cache
+// outcome. The online service records a trace per incident; the panel is
+// the screen an operator reads to see where a diagnosis spent its time
+// and what the caches absorbed. (Wall times are measured, so this panel
+// — unlike the diagnosis report — is not byte-deterministic per seed.)
+func TimingPanel(t *pipeline.Trace) string {
+	var b strings.Builder
+	b.WriteString("DIADS — Workflow Timing\n")
+	if t == nil {
+		b.WriteString("  (no trace recorded)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "pipeline %s, total %s\n\n", t.Pipeline, t.Total.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-8s %-8s %12s  %-5s %s\n", "module", "status", "wall", "cache", "note")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	for _, m := range t.Modules {
+		wall := "-"
+		if m.Status == pipeline.StatusRan || m.Status == pipeline.StatusCacheHit ||
+			m.Status == pipeline.StatusFailed {
+			wall = m.Wall.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %12s  %-5s %s\n", m.Module, m.Status, wall, m.Cache, m.Note)
 	}
 	return b.String()
 }

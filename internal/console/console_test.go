@@ -117,3 +117,21 @@ func TestPlanScreen(t *testing.T) {
 		t.Fatalf("plan screen wrong:\n%s", s)
 	}
 }
+
+func TestTimingPanelRendersTrace(t *testing.T) {
+	_, in := simulated(t)
+	res, err := diag.Diagnose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TimingPanel(res.Trace)
+	for _, want := range []string{"Workflow Timing", "pipeline diads", "module", "status", "wall", "cache",
+		"pd", "apg", "co", "da", "cr", "sd", "ia", "ran"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("timing panel missing %q:\n%s", want, s)
+		}
+	}
+	if s2 := TimingPanel(nil); !strings.Contains(s2, "no trace") {
+		t.Fatalf("nil trace panel wrong:\n%s", s2)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"diads/internal/apg"
+	"diads/internal/pipeline"
 	"diads/internal/symptoms"
 )
 
@@ -21,6 +22,10 @@ type Result struct {
 	// Causes are the symptoms-database hypotheses, sorted by confidence.
 	Causes []symptoms.CauseInstance
 	IA     *IAResult
+	// Trace is the engine's per-module execution record: wall time,
+	// cache hit/miss, and skip/short-circuit decisions. It never feeds
+	// Render — reports stay byte-deterministic per seed.
+	Trace *pipeline.Trace
 }
 
 // TopCause returns the highest-confidence cause, breaking ties by impact
@@ -32,90 +37,145 @@ func (r *Result) TopCause() (ImpactItem, bool) {
 	return ImpactItem{}, false
 }
 
+// RunConfig tunes how the engine executes the DAG.
+type RunConfig struct {
+	// MaxParallel caps concurrently-executing modules. 0 means
+	// DefaultParallelism; 1 or any negative value forces sequential
+	// execution (the modes are byte-identical in their Results —
+	// modules are pure functions of the blackboard).
+	MaxParallel int
+	// OnModuleStart, when non-nil, observes each module launch (tests
+	// use it to cancel deterministically mid-pipeline).
+	OnModuleStart func(module string)
+}
+
+func (c RunConfig) options() pipeline.Options {
+	maxPar := c.MaxParallel
+	switch {
+	case maxPar == 0:
+		maxPar = DefaultParallelism
+	case maxPar < 0:
+		maxPar = 1 // "no parallelism", never the engine's unbounded mode
+	}
+	return pipeline.Options{MaxParallel: maxPar, OnStart: c.OnModuleStart}
+}
+
 // Workflow runs the diagnosis modules, either batch (Run) or one module
 // at a time — the paper's interactive mode, where the administrator can
 // inspect and edit each module's result (e.g. prune the COS) before the
-// next module consumes it.
+// next module consumes it. Both modes execute through the module-DAG
+// engine: batch runs schedule independent modules (DA ∥ CR)
+// concurrently, interactive steps enforce ordering from the DAG's
+// dependency declarations.
 type Workflow struct {
 	In  *Input
 	Res *Result
+
+	bb    *pipeline.Blackboard
+	steps []pipeline.ModuleTrace
 }
 
 // NewWorkflow validates the input and prepares a workflow.
 func NewWorkflow(in *Input) (*Workflow, error) {
-	if err := in.validate(); err != nil {
+	bb, err := NewBoard(in)
+	if err != nil {
 		return nil, err
 	}
-	return &Workflow{In: in, Res: &Result{Query: in.Query}}, nil
+	return &Workflow{In: in, Res: &Result{Query: in.Query}, bb: bb}, nil
 }
 
 // Run executes the full batch workflow of Figure 2: PD first; if the plan
-// changed, plan-change analysis is the diagnosis. Otherwise CO, DA, CR
-// run against the common plan, SD maps symptoms to causes, and IA scores
-// their impact.
+// changed, plan-change analysis is the diagnosis. Otherwise CO runs
+// against the common plan, DA and CR run concurrently, SD maps symptoms
+// to causes, and IA scores their impact.
 func (w *Workflow) Run() (*Result, error) {
 	return w.RunContext(context.Background())
 }
 
-// RunContext is Run with cancellation: the context is checked between
-// modules, so a worker goroutine servicing a diagnosis job can be shut
-// down mid-workflow. Workflows share no mutable state — each call
-// operates on its own Result, and the Input is only read — so RunContext
-// is safe to invoke from many goroutines over the same Input.
+// RunContext is Run with cancellation: the engine stops scheduling
+// modules once the context is canceled, so a worker goroutine servicing
+// a diagnosis job can be shut down mid-workflow. Workflows share no
+// mutable state — each run operates on its own blackboard, and the Input
+// is only read — so RunContext is safe to invoke from many goroutines
+// over the same Input.
 func (w *Workflow) RunContext(ctx context.Context) (*Result, error) {
-	steps := []func() error{w.RunPD, w.RunCO, w.RunDA, w.RunCR, w.RunSD, w.RunIA}
-	for i, step := range steps {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("diag: workflow canceled: %w", err)
-		}
-		if err := step(); err != nil {
-			return nil, err
-		}
-		if i == 0 && w.Res.PD.Changed {
-			return w.Res, nil
+	return w.RunWith(ctx, RunConfig{})
+}
+
+// RunWith is RunContext with engine configuration. The batch run always
+// starts from a fresh blackboard: earlier interactive steps are re-run,
+// exactly as the step-list workflow re-ran them.
+func (w *Workflow) RunWith(ctx context.Context, cfg RunConfig) (*Result, error) {
+	bb, err := NewBoard(w.In)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := DiadsPipeline().Run(ctx, bb, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	w.bb = bb
+	fillResult(w.Res, bb)
+	w.Res.Trace = trace
+	return w.Res, nil
+}
+
+// step executes one DAG module against the workflow's blackboard,
+// recording its trace and folding its output into the Result. Dependency
+// declarations enforce module ordering — running DA before CO fails with
+// the missing dependency, replacing the hand-rolled nil checks of the
+// step-list workflow.
+func (w *Workflow) step(name string) error {
+	mt, err := DiadsPipeline().RunModule(context.Background(), name, w.bb)
+	// One entry per module: a retried step (e.g. after an out-of-order
+	// attempt failed on its dependencies) replaces its earlier record.
+	replaced := false
+	for i := range w.steps {
+		if w.steps[i].Module == name {
+			w.steps[i], replaced = mt, true
+			break
 		}
 	}
-	return w.Res, nil
+	if !replaced {
+		w.steps = append(w.steps, mt)
+	}
+	if err != nil {
+		return err
+	}
+	fillResult(w.Res, w.bb)
+	return nil
+}
+
+// Trace returns the interactive steps executed so far as a trace (batch
+// runs record theirs on Result.Trace). Total is the accumulated wall
+// time of the steps.
+func (w *Workflow) Trace() *pipeline.Trace {
+	t := &pipeline.Trace{
+		Pipeline: PipelineDIADS,
+		Modules:  append([]pipeline.ModuleTrace(nil), w.steps...),
+	}
+	for _, mt := range t.Modules {
+		t.Total += mt.Wall
+	}
+	return t
 }
 
 // RunPD executes Module PD and, when the plan is unchanged, builds the
 // APG of the common plan for the downstream modules.
 func (w *Workflow) RunPD() error {
-	pd, err := PlanDiffing(w.In)
-	if err != nil {
+	if err := w.step(KeyPD); err != nil {
 		return err
 	}
-	w.Res.PD = pd
-	if !pd.Changed {
-		build := func() (*apg.APG, error) {
-			return apg.Build(pd.CommonPlan, w.In.Cfg, w.In.Cat, w.In.Server)
-		}
-		var g *apg.APG
-		if w.In.APGCache != nil {
-			g, err = w.In.APGCache.GetOrCompute(pd.CommonPlan.Signature(), build)
-		} else {
-			g, err = build()
-		}
-		if err != nil {
-			return err
-		}
-		w.Res.APG = g
+	if w.Res.PD.Changed {
+		// The plan-change short circuit: no common plan, no APG, and
+		// every drill-down module stays disabled.
+		return nil
 	}
-	return nil
+	return w.step(KeyAPG)
 }
 
 // RunCO executes Module CO. RunPD must have run and found no plan change.
-func (w *Workflow) RunCO() error {
-	if w.Res.APG == nil {
-		return fmt.Errorf("diag: Module CO requires Module PD to find a common plan first")
-	}
-	co, err := CorrelatedOperators(w.In, w.Res.APG.Plan)
-	if err != nil {
-		return err
-	}
-	w.Res.CO = co
-	return nil
-}
+func (w *Workflow) RunCO() error { return w.step(KeyCO) }
 
 // OverrideCOS replaces the correlated operator set — the interactive
 // mode's edit hook between CO and DA.
@@ -128,66 +188,22 @@ func (w *Workflow) OverrideCOS(cos []int) error {
 }
 
 // RunDA executes Module DA. RunCO must have run.
-func (w *Workflow) RunDA() error {
-	if w.Res.CO == nil {
-		return fmt.Errorf("diag: Module DA requires Module CO's result")
-	}
-	da, err := DependencyAnalysis(w.In, w.Res.APG, w.Res.CO)
-	if err != nil {
-		return err
-	}
-	w.Res.DA = da
-	return nil
-}
+func (w *Workflow) RunDA() error { return w.step(KeyDA) }
 
 // RunCR executes Module CR. RunCO must have run.
-func (w *Workflow) RunCR() error {
-	if w.Res.CO == nil {
-		return fmt.Errorf("diag: Module CR requires Module CO's result")
-	}
-	cr, err := CorrelatedRecordCounts(w.In, w.Res.APG.Plan, w.Res.CO)
-	if err != nil {
-		return err
-	}
-	w.Res.CR = cr
-	return nil
-}
+func (w *Workflow) RunCR() error { return w.step(KeyCR) }
 
 // RunSD builds the fact base from the module outputs and evaluates the
-// symptoms database. Without a symptoms database it still records the
-// facts — the paper notes DIADS usefully narrows the search space even
-// when the database is missing or incomplete.
+// symptoms database.
 func (w *Workflow) RunSD() error {
-	if w.Res.DA == nil || w.Res.CR == nil {
-		return fmt.Errorf("diag: Module SD requires Modules DA and CR")
+	if err := w.step(KeyFacts); err != nil {
+		return err
 	}
-	w.Res.Facts = BuildFacts(w.In, w.Res.APG, w.Res.PD, w.Res.CO, w.Res.DA, w.Res.CR)
-	if w.In.SymDB != nil {
-		evaluate := func() ([]symptoms.CauseInstance, error) {
-			return w.In.SymDB.Evaluate(w.Res.Facts, Bindings(w.In, w.Res.APG)), nil
-		}
-		if w.In.SDCache != nil {
-			key := w.Res.APG.Plan.Signature() + "/" + w.Res.Facts.Fingerprint()
-			w.Res.Causes, _ = w.In.SDCache.GetOrCompute(key, evaluate)
-		} else {
-			w.Res.Causes, _ = evaluate()
-		}
-	}
-	return nil
+	return w.step(KeySD)
 }
 
 // RunIA executes Module IA over the medium- and high-confidence causes.
-func (w *Workflow) RunIA() error {
-	if w.Res.Facts == nil {
-		return fmt.Errorf("diag: Module IA requires Module SD")
-	}
-	ia, err := ImpactAnalysis(w.In, w.Res.APG, w.Res.CO, w.Res.Causes)
-	if err != nil {
-		return err
-	}
-	w.Res.IA = ia
-	return nil
-}
+func (w *Workflow) RunIA() error { return w.step(KeyIA) }
 
 // Diagnose is the one-call batch entry point.
 func Diagnose(in *Input) (*Result, error) {
@@ -195,14 +211,21 @@ func Diagnose(in *Input) (*Result, error) {
 }
 
 // DiagnoseContext is the re-entrant entry point the online service's
-// worker goroutines use: one call per job, cancelable between modules,
-// with any caches configured on the Input shared safely across calls.
+// worker goroutines use: one call per job, cancelable at module
+// granularity, with any caches configured on the Input shared safely
+// across calls.
 func DiagnoseContext(ctx context.Context, in *Input) (*Result, error) {
+	return DiagnoseWith(ctx, in, RunConfig{})
+}
+
+// DiagnoseWith is DiagnoseContext with engine configuration —
+// benchmarks use it to compare sequential and concurrent execution.
+func DiagnoseWith(ctx context.Context, in *Input, cfg RunConfig) (*Result, error) {
 	w, err := NewWorkflow(in)
 	if err != nil {
 		return nil, err
 	}
-	return w.RunContext(ctx)
+	return w.RunWith(ctx, cfg)
 }
 
 // ToIncident converts a diagnosis into a confirmed incident for the

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"diads/internal/baseline"
+	"diads/internal/diag"
+	"diads/internal/pipeline"
+	"diads/internal/pipelines"
+)
+
+// TestEngineParityAcrossScenarios is the refactor's acceptance bar:
+// for every scenario, concurrent DA ∥ CR execution must produce a
+// Result whose Render() output is byte-identical to the sequential
+// engine's (determinism preserved per internal/simtime rules).
+func TestEngineParityAcrossScenarios(t *testing.T) {
+	for id := S1SANMisconfig; id <= SRAIDRebuild; id++ {
+		sc, err := Build(id, 700+int64(id))
+		if err != nil {
+			t.Fatalf("scenario %d: %v", id, err)
+		}
+		seq, err := diag.DiagnoseWith(context.Background(), sc.Input, diag.RunConfig{MaxParallel: 1})
+		if err != nil {
+			t.Fatalf("scenario %d sequential: %v", id, err)
+		}
+		conc, err := diag.DiagnoseWith(context.Background(), sc.Input, diag.RunConfig{MaxParallel: 8})
+		if err != nil {
+			t.Fatalf("scenario %d concurrent: %v", id, err)
+		}
+		if seq.Render() != conc.Render() {
+			t.Errorf("scenario %d: sequential and concurrent reports differ\n--- seq ---\n%s\n--- conc ---\n%s",
+				id, seq.Render(), conc.Render())
+		}
+	}
+}
+
+// TestSiloPipelinesMatchDirectTools checks that the baselines registered
+// in the pipeline registry produce exactly the reports of the direct
+// silo functions — running through the engine changes nothing about the
+// comparisons.
+func TestSiloPipelinesMatchDirectTools(t *testing.T) {
+	sc, err := buildScenario1WithV2Burst(808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, direct := range map[string]func(*diag.Input) (*baseline.Report, error){
+		baseline.PipelineSANOnly: baseline.SANOnly,
+		baseline.PipelineDBOnly:  baseline.DBOnly,
+	} {
+		want, err := direct(sc.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, trace, err := pipelines.Run(context.Background(), name, sc.Input)
+		if err != nil {
+			t.Fatalf("pipeline %s: %v", name, err)
+		}
+		got, ok := pipeline.Get[*baseline.Report](bb, baseline.KeyReport)
+		if !ok {
+			t.Fatalf("pipeline %s produced no report", name)
+		}
+		if got.String() != want.String() {
+			t.Errorf("pipeline %s report differs from the direct tool\n--- pipeline ---\n%s\n--- direct ---\n%s",
+				name, got, want)
+		}
+		if mt := trace.Module(baseline.KeyReport); mt == nil || mt.Status != pipeline.StatusRan {
+			t.Errorf("pipeline %s trace: %+v", name, mt)
+		}
+	}
+
+	// The registry catalogs every strategy.
+	names := pipelines.Registry().Names()
+	want := map[string]bool{diag.PipelineDIADS: true, baseline.PipelineSANOnly: true, baseline.PipelineDBOnly: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("registry missing pipelines %v (have %v)", want, names)
+	}
+
+	if _, _, err := pipelines.Run(context.Background(), "no-such-strategy", sc.Input); err == nil {
+		t.Error("unknown pipeline name should error")
+	}
+}

@@ -1,0 +1,473 @@
+// Package pipeline is the declarative module-DAG engine the diagnosis
+// workflows run on. A pipeline is a set of named modules with explicit
+// dependency declarations; the scheduler topologically orders them and
+// runs independent modules concurrently, with context cancellation and
+// error propagation at module granularity. Modules communicate through a
+// blackboard of named outputs, caching is scheduler-level middleware
+// (a module with a CacheSpec can be satisfied without running), and
+// every run produces a Trace recording per-module wall time, cache
+// hits, and skip/short-circuit decisions.
+//
+// The engine is strategy-agnostic: the paper's six-module workflow, its
+// plan-change short circuit, and the silo baseline tools all register as
+// pipelines over the same blackboard (see internal/pipelines), so new
+// diagnosis strategies are a registration, not a rewrite.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Blackboard is the shared result space of one pipeline run: each
+// module's output is stored under the module's name. It is safe for
+// concurrent use by the scheduler's worker goroutines.
+type Blackboard struct {
+	mu   sync.RWMutex
+	vals map[string]any
+}
+
+// NewBlackboard returns an empty blackboard.
+func NewBlackboard() *Blackboard {
+	return &Blackboard{vals: make(map[string]any)}
+}
+
+// Put stores a value under a name, replacing any previous value. Drivers
+// use it to seed pipeline inputs before a run.
+func (b *Blackboard) Put(name string, v any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.vals[name] = v
+}
+
+// Has reports whether a value is stored under the name.
+func (b *Blackboard) Has(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.vals[name]
+	return ok
+}
+
+func (b *Blackboard) get(name string) (any, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.vals[name]
+	return v, ok
+}
+
+// Get returns the value stored under the name, typed. It reports false
+// when the name is absent or holds a different type.
+func Get[T any](b *Blackboard, name string) (T, bool) {
+	v, ok := b.get(name)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	t, ok := v.(T)
+	return t, ok
+}
+
+// Halt is the short-circuit signal: a module returns Halt{Out: v} to
+// record v as its output and stop the pipeline — modules not yet started
+// are marked skipped and the run completes successfully. The paper's
+// Module PD uses it when the plan changed: plan-change analysis is the
+// whole diagnosis and the drill-down modules never run.
+type Halt struct{ Out any }
+
+// CacheSpec is the scheduler-level caching middleware: before running a
+// module the engine derives a key from the blackboard, consults the
+// cache, and on a hit installs the cached value as the module's output
+// without running it; on a miss the freshly-computed output is stored
+// back. The trace records the outcome per module. When a cached module
+// halts, the engine stores (and later recognizes) the Halt wrapper
+// itself, so Put/Get bridges on such modules must pass any-typed values
+// through unmodified.
+type CacheSpec struct {
+	// Key derives the cache key from the blackboard. ok=false disables
+	// caching for this run (e.g. no cache configured on the input).
+	Key func(bb *Blackboard) (key string, ok bool)
+	// Get and Put bridge to the underlying typed cache.
+	Get func(bb *Blackboard, key string) (any, bool)
+	Put func(bb *Blackboard, key string, v any)
+}
+
+// Module is one node of the DAG.
+type Module struct {
+	// Name identifies the module and keys its output on the blackboard.
+	Name string
+	// Deps name the modules whose outputs must exist before Run; they
+	// replace hand-rolled "module X requires module Y" precondition
+	// checks inside module bodies.
+	Deps []string
+	// Run computes the module's output from the blackboard. Return
+	// Halt{Out: v} to short-circuit the rest of the pipeline.
+	Run func(ctx context.Context, bb *Blackboard) (any, error)
+	// Cache, when non-nil, lets the scheduler satisfy the module from a
+	// cache instead of running it.
+	Cache *CacheSpec
+}
+
+// Status classifies a module's outcome within one run.
+type Status string
+
+const (
+	// StatusRan: the module executed and produced its output.
+	StatusRan Status = "ran"
+	// StatusCacheHit: the output came from the module's cache.
+	StatusCacheHit Status = "hit"
+	// StatusSkipped: an upstream module short-circuited the pipeline.
+	StatusSkipped Status = "skipped"
+	// StatusFailed: the module returned an error.
+	StatusFailed Status = "failed"
+	// StatusNotRun: the run ended (error or cancellation) before the
+	// module was scheduled.
+	StatusNotRun Status = "not-run"
+)
+
+// CacheOutcome records whether the caching middleware was consulted.
+type CacheOutcome string
+
+const (
+	CacheNone CacheOutcome = ""
+	CacheHit  CacheOutcome = "hit"
+	CacheMiss CacheOutcome = "miss"
+)
+
+// ModuleTrace is one module's entry in a run's trace.
+type ModuleTrace struct {
+	Module string
+	Status Status
+	Cache  CacheOutcome
+	// Wall is the module's measured wall time (zero when never started).
+	Wall time.Duration
+	// Note carries the skip reason, short-circuit marker, or error text.
+	Note string
+}
+
+// Trace is the observability record of one pipeline run: modules in
+// topological order with status, wall time, and cache outcome. The
+// online service threads it through incidents and the console renders it
+// as the workflow-timing panel.
+type Trace struct {
+	Pipeline string
+	Total    time.Duration
+	Modules  []ModuleTrace
+}
+
+// Module returns the trace entry for the named module, or nil.
+func (t *Trace) Module(name string) *ModuleTrace {
+	for i := range t.Modules {
+		if t.Modules[i].Module == name {
+			return &t.Modules[i]
+		}
+	}
+	return nil
+}
+
+// Append adds one module entry (the interactive workflow accumulates its
+// steps this way).
+func (t *Trace) Append(mt ModuleTrace) { t.Modules = append(t.Modules, mt) }
+
+// Pipeline is a validated, topologically-ordered module DAG ready to
+// run. Pipelines are immutable after New and safe to share across
+// goroutines; all per-run state lives on the Blackboard and Trace.
+type Pipeline struct {
+	name  string
+	mods  []*Module // topological order, registration order among ties
+	index map[string]*Module
+}
+
+// New validates the modules (unique names, declared dependencies exist,
+// no cycles) and returns the pipeline.
+func New(name string, mods ...*Module) (*Pipeline, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pipeline: empty pipeline name")
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("pipeline %s: no modules", name)
+	}
+	index := make(map[string]*Module, len(mods))
+	for _, m := range mods {
+		if m.Name == "" {
+			return nil, fmt.Errorf("pipeline %s: module with empty name", name)
+		}
+		if m.Run == nil {
+			return nil, fmt.Errorf("pipeline %s: module %s has no Run", name, m.Name)
+		}
+		if _, dup := index[m.Name]; dup {
+			return nil, fmt.Errorf("pipeline %s: duplicate module %s", name, m.Name)
+		}
+		index[m.Name] = m
+	}
+	for _, m := range mods {
+		for _, d := range m.Deps {
+			if _, ok := index[d]; !ok {
+				return nil, fmt.Errorf("pipeline %s: module %s depends on unknown module %s", name, m.Name, d)
+			}
+		}
+	}
+	order, err := toposort(name, mods, index)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{name: name, mods: order, index: index}, nil
+}
+
+// toposort is Kahn's algorithm with a stable tie-break: among ready
+// modules, registration order wins, so scheduling is deterministic.
+func toposort(name string, mods []*Module, index map[string]*Module) ([]*Module, error) {
+	indeg := make(map[string]int, len(mods))
+	for _, m := range mods {
+		indeg[m.Name] = len(m.Deps)
+	}
+	var order []*Module
+	done := make(map[string]bool, len(mods))
+	for len(order) < len(mods) {
+		progressed := false
+		for _, m := range mods {
+			if done[m.Name] || indeg[m.Name] > 0 {
+				continue
+			}
+			done[m.Name] = true
+			order = append(order, m)
+			for _, n := range mods {
+				for _, d := range n.Deps {
+					if d == m.Name {
+						indeg[n.Name]--
+					}
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("pipeline %s: dependency cycle among modules", name)
+		}
+	}
+	return order, nil
+}
+
+// Name returns the pipeline's registry name.
+func (p *Pipeline) Name() string { return p.name }
+
+// ModuleNames returns the module names in topological order.
+func (p *Pipeline) ModuleNames() []string {
+	out := make([]string, len(p.mods))
+	for i, m := range p.mods {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// execOut is the outcome of executing (or cache-satisfying) one module.
+type execOut struct {
+	halt  bool
+	err   error
+	wall  time.Duration
+	cache CacheOutcome
+}
+
+// exec runs one module: cache probe, run, cache fill, blackboard commit.
+// A halting module's output is cached as the Halt wrapper, so a later
+// cache hit short-circuits exactly as the original run did.
+func (p *Pipeline) exec(ctx context.Context, m *Module, bb *Blackboard) execOut {
+	t0 := time.Now()
+	o := execOut{}
+	key := ""
+	if m.Cache != nil {
+		if k, ok := m.Cache.Key(bb); ok {
+			if v, hit := m.Cache.Get(bb, k); hit {
+				if h, ok := v.(Halt); ok {
+					v, o.halt = h.Out, true
+				}
+				bb.Put(m.Name, v)
+				o.cache = CacheHit
+				o.wall = time.Since(t0)
+				return o
+			}
+			o.cache = CacheMiss
+			key = k
+		}
+	}
+	out, err := m.Run(ctx, bb)
+	if h, ok := out.(Halt); ok {
+		out, o.halt = h.Out, true
+	}
+	if err != nil {
+		o.err = err
+		o.wall = time.Since(t0)
+		return o
+	}
+	bb.Put(m.Name, out)
+	if o.cache == CacheMiss {
+		if o.halt {
+			m.Cache.Put(bb, key, Halt{Out: out})
+		} else {
+			m.Cache.Put(bb, key, out)
+		}
+	}
+	o.wall = time.Since(t0)
+	return o
+}
+
+// RunModule executes a single module against the blackboard — the
+// interactive mode, where a driver steps through the DAG one module at a
+// time and may edit intermediate outputs between steps. Dependencies are
+// enforced from the declarations: a module whose inputs are missing
+// fails without running.
+func (p *Pipeline) RunModule(ctx context.Context, name string, bb *Blackboard) (ModuleTrace, error) {
+	m := p.index[name]
+	if m == nil {
+		return ModuleTrace{}, fmt.Errorf("pipeline %s: unknown module %q", p.name, name)
+	}
+	for _, d := range m.Deps {
+		if !bb.Has(d) {
+			return ModuleTrace{Module: name, Status: StatusNotRun},
+				fmt.Errorf("pipeline %s: module %s requires module %s, which has not run", p.name, name, d)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return ModuleTrace{Module: name, Status: StatusNotRun},
+			fmt.Errorf("pipeline %s: canceled before module %s: %w", p.name, name, err)
+	}
+	e := p.exec(ctx, m, bb)
+	mt := ModuleTrace{Module: name, Wall: e.wall, Cache: e.cache}
+	switch {
+	case e.err != nil:
+		mt.Status, mt.Note = StatusFailed, e.err.Error()
+		return mt, fmt.Errorf("pipeline %s: module %s: %w", p.name, name, e.err)
+	case e.cache == CacheHit:
+		mt.Status = StatusCacheHit
+	default:
+		mt.Status = StatusRan
+	}
+	if e.halt {
+		mt.Note = "short-circuit"
+	}
+	return mt, nil
+}
+
+// Options tune one pipeline run.
+type Options struct {
+	// MaxParallel caps concurrently-executing modules. <=0 means
+	// unbounded (DAG width is the effective bound); 1 is sequential.
+	MaxParallel int
+	// OnStart, when non-nil, observes each module launch in scheduling
+	// order (tests use it to cancel mid-flight deterministically).
+	OnStart func(module string)
+}
+
+// Run executes the full pipeline: modules start as soon as their
+// dependencies complete, independent modules run concurrently up to
+// MaxParallel, a module error cancels the rest of the run, and a Halt
+// short-circuits it. The returned Trace is always non-nil and lists
+// every module in topological order.
+func (p *Pipeline) Run(ctx context.Context, bb *Blackboard, opts Options) (*Trace, error) {
+	maxPar := opts.MaxParallel
+	if maxPar <= 0 {
+		maxPar = len(p.mods)
+	}
+	t0 := time.Now()
+	trace := &Trace{Pipeline: p.name, Modules: make([]ModuleTrace, len(p.mods))}
+	for i, m := range p.mods {
+		trace.Modules[i] = ModuleTrace{Module: m.Name, Status: StatusNotRun}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type doneMsg struct {
+		idx int
+		e   execOut
+	}
+	doneCh := make(chan doneMsg)
+	satisfied := make(map[string]bool, len(p.mods))
+	started := make(map[string]bool, len(p.mods))
+	running := 0
+	var firstErr error
+	haltedBy := ""
+
+	ready := func() []int {
+		if firstErr != nil || haltedBy != "" || runCtx.Err() != nil {
+			return nil
+		}
+		var out []int
+		for i, m := range p.mods {
+			if started[m.Name] {
+				continue
+			}
+			ok := true
+			for _, d := range m.Deps {
+				if !satisfied[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	for {
+		for _, i := range ready() {
+			if running >= maxPar {
+				break
+			}
+			m := p.mods[i]
+			started[m.Name] = true
+			running++
+			if opts.OnStart != nil {
+				opts.OnStart(m.Name)
+			}
+			go func(i int, m *Module) {
+				doneCh <- doneMsg{idx: i, e: p.exec(runCtx, m, bb)}
+			}(i, m)
+		}
+		if running == 0 {
+			break
+		}
+		d := <-doneCh
+		running--
+		m := p.mods[d.idx]
+		mt := &trace.Modules[d.idx]
+		mt.Wall, mt.Cache = d.e.wall, d.e.cache
+		switch {
+		case d.e.err != nil:
+			mt.Status, mt.Note = StatusFailed, d.e.err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline %s: module %s: %w", p.name, m.Name, d.e.err)
+				cancel() // propagate: no new modules, in-flight ones see the cancel
+			}
+		case d.e.cache == CacheHit:
+			mt.Status = StatusCacheHit
+			satisfied[m.Name] = true
+		default:
+			mt.Status = StatusRan
+			satisfied[m.Name] = true
+		}
+		if d.e.halt && d.e.err == nil && haltedBy == "" {
+			haltedBy = m.Name
+			mt.Note = "short-circuit"
+		}
+	}
+
+	if haltedBy != "" && firstErr == nil && ctx.Err() == nil {
+		for i, m := range p.mods {
+			if !started[m.Name] {
+				trace.Modules[i].Status = StatusSkipped
+				trace.Modules[i].Note = "short-circuited by " + haltedBy
+			}
+		}
+	}
+	trace.Total = time.Since(t0)
+	if firstErr != nil {
+		return trace, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return trace, fmt.Errorf("pipeline %s: canceled: %w", p.name, err)
+	}
+	return trace, nil
+}

@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry holds named pipelines — the catalog of diagnosis strategies.
+// It is safe for concurrent use; registered pipelines are immutable.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Pipeline
+	names  []string // registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Pipeline)}
+}
+
+// Register adds a pipeline under its name. Duplicate names are an error:
+// strategies must be distinguishable.
+func (r *Registry) Register(p *Pipeline) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[p.name]; dup {
+		return fmt.Errorf("pipeline registry: duplicate pipeline %q", p.name)
+	}
+	r.byName[p.name] = p
+	r.names = append(r.names, p.name)
+	return nil
+}
+
+// Get returns the named pipeline.
+func (r *Registry) Get(name string) (*Pipeline, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// Names returns the registered pipeline names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}

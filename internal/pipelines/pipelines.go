@@ -1,0 +1,56 @@
+// Package pipelines assembles the registry of every diagnosis strategy:
+// the paper's Figure 2 workflow ("diads", a module DAG with the
+// plan-change short circuit and concurrent DA ∥ CR) and the Section 5
+// silo baselines ("san-only", "db-only"), all running over the same
+// blackboard through the same engine. Adding a strategy is a
+// registration here, not a workflow rewrite; the package exists apart
+// from internal/diag so strategies may depend on diag without cycles.
+package pipelines
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"diads/internal/baseline"
+	"diads/internal/diag"
+	"diads/internal/pipeline"
+)
+
+// Registry returns the shared registry of diagnosis pipelines.
+func Registry() *pipeline.Registry { return registry() }
+
+var registry = sync.OnceValue(func() *pipeline.Registry {
+	r := pipeline.NewRegistry()
+	for _, p := range []*pipeline.Pipeline{
+		diag.DiadsPipeline(),
+		baseline.SANOnlyPipeline(),
+		baseline.DBOnlyPipeline(),
+	} {
+		if err := r.Register(p); err != nil {
+			panic(err) // static construction; unreachable
+		}
+	}
+	return r
+})
+
+// Run executes the named pipeline over the input with the concurrent
+// engine and returns the blackboard of module outputs plus the run's
+// trace. Callers read the outputs they care about with pipeline.Get
+// (e.g. baseline.KeyReport for the silo tools; for "diads" prefer
+// diag.Diagnose, which assembles a Result).
+func Run(ctx context.Context, name string, in *diag.Input) (*pipeline.Blackboard, *pipeline.Trace, error) {
+	p, ok := Registry().Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("pipelines: unknown pipeline %q (have %v)", name, Registry().Names())
+	}
+	bb, err := diag.NewBoard(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace, err := p.Run(ctx, bb, pipeline.Options{MaxParallel: diag.DefaultParallelism})
+	if err != nil {
+		return nil, trace, err
+	}
+	return bb, trace, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"diads/internal/diag"
 	"diads/internal/monitor"
+	"diads/internal/pipeline"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
 )
@@ -40,6 +41,10 @@ type Incident struct {
 	Window simtime.Interval
 	// Result is the latest full diagnosis.
 	Result *diag.Result
+	// Trace is the latest diagnosis's per-module execution trace (wall
+	// time, cache hits, short-circuit decisions) — the observability the
+	// console's workflow-timing panel renders per incident.
+	Trace *pipeline.Trace
 }
 
 // EstImpact is the incident's ranking key: the cumulative slowdown
@@ -96,13 +101,23 @@ func (r *Registry) Record(ev monitor.SlowdownEvent, res *diag.Result) {
 		}
 		r.open[k] = inc
 	}
-	inc.Confidence = confidence
-	inc.ImpactPct = impact
 	inc.TotalExtra += extra
 	inc.Events++
-	inc.LastSeen = ev.At
-	inc.Window = ev.Window
-	inc.Result = res
+	if ev.At < inc.FirstSeen {
+		inc.FirstSeen = ev.At
+	}
+	// "Latest" fields follow the event latest in simulated time, not the
+	// diagnosis that happened to complete last — concurrent workers may
+	// finish out of order, and incident state must stay deterministic
+	// per seed.
+	if ev.At >= inc.LastSeen {
+		inc.Confidence = confidence
+		inc.ImpactPct = impact
+		inc.LastSeen = ev.At
+		inc.Window = ev.Window
+		inc.Result = res
+		inc.Trace = res.Trace
+	}
 }
 
 // topCauseOf extracts the leading root cause of a diagnosis.

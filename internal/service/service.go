@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diads/internal/apg"
 	"diads/internal/cache"
@@ -22,6 +23,7 @@ import (
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/opt"
+	"diads/internal/pipeline"
 	"diads/internal/symptoms"
 	"diads/internal/topology"
 )
@@ -130,7 +132,7 @@ type Service struct {
 	jobs    chan job
 	quit    chan struct{} // closed by Stop; retires the ctx watcher
 	mu      sync.Mutex
-	idle    sync.Cond // signaled when pending drains
+	idle    sync.Cond       // signaled when pending drains
 	pending map[jobKey]bool // queued or running
 	stopped bool
 
@@ -138,6 +140,10 @@ type Service struct {
 	sd      *cache.LRU[string, []symptoms.CauseInstance]
 	results *cache.LRU[jobKey, *diag.Result]
 	reg     *Registry
+
+	modmu    sync.Mutex
+	modstats map[string]*ModuleStat
+	modorder []string
 
 	wg sync.WaitGroup
 
@@ -148,15 +154,16 @@ type Service struct {
 func New(env Env, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		env:     env,
-		jobs:    make(chan job, cfg.Queue),
-		quit:    make(chan struct{}),
-		pending: make(map[jobKey]bool),
-		apgs:    cache.New[string, *apg.APG](cfg.APGCacheSize),
-		sd:      cache.New[string, []symptoms.CauseInstance](cfg.SDCacheSize),
-		results: cache.New[jobKey, *diag.Result](cfg.ResultCacheSize),
-		reg:     NewRegistry(),
+		cfg:      cfg,
+		env:      env,
+		jobs:     make(chan job, cfg.Queue),
+		quit:     make(chan struct{}),
+		pending:  make(map[jobKey]bool),
+		apgs:     cache.New[string, *apg.APG](cfg.APGCacheSize),
+		sd:       cache.New[string, []symptoms.CauseInstance](cfg.SDCacheSize),
+		results:  cache.New[jobKey, *diag.Result](cfg.ResultCacheSize),
+		reg:      NewRegistry(),
+		modstats: make(map[string]*ModuleStat),
 	}
 	s.idle.L = &s.mu
 	return s
@@ -318,7 +325,57 @@ func (s *Service) run(ctx context.Context, j job) {
 		s.failed.Add(1)
 		return
 	}
+	s.recordTrace(res.Trace)
 	s.results.Put(j.key, res)
 	s.reg.Record(j.ev, res)
 	s.completed.Add(1)
+}
+
+// ModuleStat aggregates one workflow module's behavior across every
+// diagnosis the service completed.
+type ModuleStat struct {
+	Module    string
+	Runs      int64 // times the module executed
+	CacheHits int64 // times the scheduler satisfied it from a cache
+	Skipped   int64 // times a short circuit skipped it (plan changes)
+	Wall      time.Duration
+}
+
+// recordTrace folds one diagnosis's trace into the per-module totals.
+func (s *Service) recordTrace(t *pipeline.Trace) {
+	if t == nil {
+		return
+	}
+	s.modmu.Lock()
+	defer s.modmu.Unlock()
+	for _, mt := range t.Modules {
+		st := s.modstats[mt.Module]
+		if st == nil {
+			st = &ModuleStat{Module: mt.Module}
+			s.modstats[mt.Module] = st
+			s.modorder = append(s.modorder, mt.Module)
+		}
+		switch mt.Status {
+		case pipeline.StatusRan:
+			st.Runs++
+		case pipeline.StatusCacheHit:
+			st.CacheHits++
+		case pipeline.StatusSkipped:
+			st.Skipped++
+		}
+		st.Wall += mt.Wall
+	}
+}
+
+// ModuleStats returns the per-module aggregates in pipeline order — the
+// fleet-level view of where diagnosis time goes and what the caches
+// absorb.
+func (s *Service) ModuleStats() []ModuleStat {
+	s.modmu.Lock()
+	defer s.modmu.Unlock()
+	out := make([]ModuleStat, 0, len(s.modorder))
+	for _, name := range s.modorder {
+		out = append(out, *s.modstats[name])
+	}
+	return out
 }

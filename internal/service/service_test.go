@@ -101,6 +101,27 @@ func TestServiceDiagnosesEventsConcurrently(t *testing.T) {
 	if top.EstImpact() <= 0 {
 		t.Errorf("estimated impact = %.2f, want > 0", top.EstImpact())
 	}
+
+	// Every diagnosis ran through the DAG engine: the incident carries a
+	// per-module trace, and the service aggregated module stats — with
+	// the APG cache hits visible at module granularity.
+	if top.Trace == nil || top.Trace.Module("da") == nil {
+		t.Fatalf("incident should carry the workflow trace, got %+v", top.Trace)
+	}
+	mods := svc.ModuleStats()
+	if len(mods) == 0 {
+		t.Fatal("service recorded no module stats")
+	}
+	byName := map[string]ModuleStat{}
+	for _, m := range mods {
+		byName[m.Module] = m
+	}
+	if got := byName["ia"].Runs; got != int64(len(evs)) {
+		t.Errorf("module ia ran %d times, want %d", got, len(evs))
+	}
+	if byName["apg"].CacheHits == 0 {
+		t.Errorf("module apg recorded no scheduler-level cache hits: %+v", byName["apg"])
+	}
 }
 
 func TestSubmitDeduplicatesAndExertsBackpressure(t *testing.T) {
