@@ -12,6 +12,7 @@ import (
 	"diads/internal/cache"
 	"diads/internal/diag"
 	"diads/internal/exec"
+	"diads/internal/experiments"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/simtime"
@@ -53,6 +54,33 @@ func BenchmarkOnline_WindowStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if st := s.WindowStats("vol-V1", metrics.VolReadTime, iv); st.N == 0 {
 			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkFleet_Throughput sweeps fleet size against service worker
+// count: each iteration streams a whole fleet (staggered instances, the
+// shared-pool misconfiguration under 3/4 of them, learning loop on)
+// through the barrier-synchronized coordinator. The instances axis
+// scales simulation and diagnosis load together; the workers axis shows
+// how far the shared worker pool absorbs it.
+func BenchmarkFleet_Throughput(b *testing.B) {
+	for _, inst := range []int{2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("inst=%d/workers=%d", inst, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, _, err := experiments.RunFleetSpec(experiments.FleetSpec{
+						Seed: 42, Instances: inst, Degraded: 3 * inst / 4,
+						Runs: 12, Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Stats.Completed == 0 || rep.Stats.Failed != 0 {
+						b.Fatalf("fleet idle or failing: %+v", rep.Stats)
+					}
+				}
+			})
 		}
 	}
 }

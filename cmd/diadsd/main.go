@@ -5,9 +5,16 @@
 // concurrent diagnosis service's worker pool, and periodically prints
 // the ranked incident report an operator would watch.
 //
+// With -instances N > 1 it drives a fleet instead: N staggered instances
+// stream concurrently into one shared service, the first -degraded of
+// them attached to a misconfigured shared SAN pool, and the daemon
+// prints the grouped fleet incident view with its per-instance breakdown
+// and the cross-instance symptom-learning summary.
+//
 // Usage:
 //
 //	diadsd [-seed S] [-workers N] [-chunk MIN] [-report-every N] [-runs N] [-quiet]
+//	diadsd -instances N [-degraded M] [-seed S] [-workers N] [-chunk MIN] [-runs N]
 package main
 
 import (
@@ -17,64 +24,99 @@ import (
 	"os"
 
 	"diads/internal/console"
-	"diads/internal/faults"
+	"diads/internal/experiments"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/service"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
 	"diads/internal/testbed"
-	"diads/internal/workload"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 4, "diagnosis worker pool size")
-	chunkMin := flag.Float64("chunk", 30, "simulation chunk in minutes (monitoring lag)")
+	chunkMin := flag.Float64("chunk", 30, "simulation chunk in minutes (monitoring lag; fleet default 10)")
 	reportEvery := flag.Int("report-every", 4, "print the incident report every N chunks")
 	runs := flag.Int("runs", 16, "Q2 runs to schedule (other queries scale along)")
+	instances := flag.Int("instances", 1, "fleet size; above 1 streams a multi-instance fleet")
+	degraded := flag.Int("degraded", 0, "instances on the misconfigured shared pool (default 3/4 of the fleet)")
 	quiet := flag.Bool("quiet", false, "suppress per-event output")
 	flag.Parse()
 
-	if err := run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var err error
+	if *instances > 1 {
+		// The fleet runs to completion and prints one grouped report;
+		// flags that only shape the single-instance streaming loop are
+		// rejected rather than silently ignored.
+		for _, unsupported := range []string{"report-every", "quiet"} {
+			if set[unsupported] {
+				fmt.Fprintf(os.Stderr, "diadsd: -%s does not apply with -instances > 1\n", unsupported)
+				os.Exit(2)
+			}
+		}
+		chunk := simtime.Duration(0) // fleet default (10 minutes)
+		if set["chunk"] {
+			if *chunkMin <= 0 {
+				fmt.Fprintln(os.Stderr, "diadsd: -chunk must be positive with -instances > 1 (barriers need boundaries)")
+				os.Exit(2)
+			}
+			chunk = simtime.Duration(*chunkMin) * simtime.Minute
+		}
+		err = runFleet(*seed, *instances, *degraded, *workers, *runs, chunk)
+	} else {
+		err = run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "diadsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet bool) error {
-	if runs < 2 {
-		return fmt.Errorf("-runs must be at least 2, got %d", runs)
+// runFleet drives the multi-instance fleet to the end of its timeline
+// and prints the grouped incident view. A chunk of 0 uses the fleet
+// default (10 minutes).
+func runFleet(seed int64, instances, degraded, workers, runs int, chunk simtime.Duration) error {
+	if degraded <= 0 {
+		degraded = 3 * instances / 4
+		if degraded < 1 {
+			degraded = 1
+		}
 	}
-	if reportEvery < 1 {
-		return fmt.Errorf("-report-every must be at least 1, got %d", reportEvery)
+	if degraded > instances {
+		return fmt.Errorf("-degraded %d exceeds -instances %d", degraded, instances)
 	}
-	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	fmt.Printf("diadsd: fleet of %d instances, shared pool %s misconfigured under the first %d\n",
+		instances, testbed.PoolP1, degraded)
+	rep, onsets, err := experiments.RunFleetSpec(experiments.FleetSpec{
+		Seed: seed, Instances: instances, Degraded: degraded,
+		Runs: runs, Chunk: chunk, Workers: workers,
+	})
 	if err != nil {
 		return err
 	}
-	start := simtime.Time(10 * simtime.Minute)
-	horizon := start.Add(simtime.Duration(runs) * 30 * simtime.Minute)
-	onset := start.Add(simtime.Duration(runs/2)*30*simtime.Minute - 5*simtime.Minute)
-	tb.Schedules = []workload.QuerySchedule{
-		{Query: "Q2", Start: start, Period: 30 * simtime.Minute, Count: runs},
-		{Query: "Q6", Start: start.Add(2 * simtime.Minute), Period: 20 * simtime.Minute, Count: 3 * runs / 2},
-		{Query: "Q14", Start: start.Add(4 * simtime.Minute), Period: 25 * simtime.Minute, Count: 6 * runs / 5},
+	fmt.Printf("fault onsets %s .. %s (staggered)\n\n",
+		onsets[0].Clock(), onsets[degraded-1].Clock())
+	fmt.Println(console.FleetPanel(rep))
+	fmt.Printf("apg cache %d/%d hits, sd cache %d/%d hits\n",
+		rep.Stats.APG.Hits, rep.Stats.APG.Hits+rep.Stats.APG.Misses,
+		rep.Stats.SD.Hits, rep.Stats.SD.Hits+rep.Stats.SD.Misses)
+	return nil
+}
+
+func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet bool) error {
+	if reportEvery < 1 {
+		return fmt.Errorf("-report-every must be at least 1, got %d", reportEvery)
 	}
-	for i := range tb.Loads {
-		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
-	}
-	if err := faults.Inject(tb, &faults.SANMisconfiguration{
-		At: onset, Until: horizon, Pool: testbed.PoolP1,
-		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
-		ReadIOPS: 450, WriteIOPS: 120,
-	}); err != nil {
+	env, err := experiments.BuildOnline(experiments.OnlineSpec{Seed: seed, Runs: runs})
+	if err != nil {
 		return err
 	}
-	fmt.Printf("diadsd: workload Q2/Q6/Q14, SAN misconfiguration scheduled at %s\n", onset.Clock())
-
-	mon := monitor.New(monitor.Config{})
-	tb.Engine.OnRunComplete = mon.Observe
+	tb, mon := env.Testbed, env.Monitor
+	fmt.Printf("diadsd: workload Q2/Q6/Q14, SAN misconfiguration scheduled at %s\n", env.Onset.Clock())
 
 	watcher := monitor.NewWatcher(tb.Store, monitor.Config{MinRuns: 12, MinFactor: 1.3})
 	watcher.Watch(string(testbed.VolV1), metrics.VolReadTime)

@@ -36,6 +36,7 @@ import (
 	"diads/internal/diag"
 	"diads/internal/exec"
 	"diads/internal/experiments"
+	"diads/internal/fleet"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/pipeline"
@@ -120,6 +121,29 @@ type (
 	Incident = service.Incident
 	// OnlineResult is the outcome of the end-to-end online scenario.
 	OnlineResult = experiments.OnlineResult
+
+	// Fleet streams many instances concurrently through one shared
+	// diagnosis service with cross-instance incident grouping and
+	// symptom learning.
+	Fleet = fleet.Fleet
+	// FleetConfig tunes a fleet (shared symptoms DB, chunking,
+	// concurrency, learning loop).
+	FleetConfig = fleet.Config
+	// FleetInstance is one database+SAN deployment a fleet streams.
+	FleetInstance = fleet.Instance
+	// FleetReport is a fleet run's outcome: grouped incidents,
+	// per-instance summaries, learning stats.
+	FleetReport = fleet.Report
+	// GroupedIncident is one fleet-level problem, possibly correlated
+	// across instances through shared SAN infrastructure.
+	GroupedIncident = fleet.GroupedIncident
+	// FleetLearnStats summarizes the cross-instance symptom-learning
+	// loop.
+	FleetLearnStats = fleet.LearnStats
+	// FleetResult is the outcome of the fleet scenario with its
+	// learning-off baseline.
+	FleetResult = experiments.FleetResult
+
 	// SimTime is a simulation timestamp in seconds since the epoch.
 	SimTime = simtime.Time
 	// SimDuration is a span of simulated time in seconds.
@@ -223,6 +247,20 @@ func ServiceEnvFromTestbed(tb *Testbed) ServiceEnv {
 // monitor, worker-pool service, injected SAN misconfiguration, ranked
 // incidents.
 func RunOnlineScenario(seed int64) (*OnlineResult, error) { return experiments.Online(seed) }
+
+// RunFleetScenario streams the fleet scenario end to end: 8 staggered
+// instances diagnosed by one shared service while a misconfigured
+// shared SAN pool degrades 6 of them, grouped into one correlated
+// fleet incident, with the cross-instance symptom-learning loop
+// measured against a learning-off baseline of the same seed.
+func RunFleetScenario(seed int64) (*FleetResult, error) { return experiments.Fleet(seed) }
+
+// NewFleet assembles a fleet over instances built with NewTestbed (or
+// the testbed config of your choice) and monitors attached to each
+// engine's OnRunComplete hook. Run streams them to completion.
+func NewFleet(cfg FleetConfig, instances []FleetInstance) (*Fleet, error) {
+	return fleet.New(cfg, instances)
+}
 
 // BuiltinSymptomsDB returns the in-house symptoms database for query
 // slowdowns.

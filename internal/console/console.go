@@ -14,6 +14,7 @@ import (
 	"diads/internal/apg"
 	"diads/internal/diag"
 	"diads/internal/exec"
+	"diads/internal/fleet"
 	"diads/internal/metrics"
 	"diads/internal/pipeline"
 	"diads/internal/plan"
@@ -179,6 +180,26 @@ func TimingPanel(t *pipeline.Trace) string {
 			wall = m.Wall.Round(time.Microsecond).String()
 		}
 		fmt.Fprintf(&b, "%-8s %-8s %12s  %-5s %s\n", m.Module, m.Status, wall, m.Cache, m.Note)
+	}
+	return b.String()
+}
+
+// FleetPanel renders the fleet operations screen: the correlated
+// incident view (cross-instance groups with per-instance breakdown),
+// the instance roster, and the symptom-learning summary. Unlike the
+// timing panel it is byte-deterministic per seed — the report carries
+// no wall-clock measurements.
+func FleetPanel(rep *fleet.Report) string {
+	var b strings.Builder
+	b.WriteString("DIADS — Fleet\n\n")
+	if rep == nil {
+		b.WriteString("  (no fleet report)\n")
+		return b.String()
+	}
+	b.WriteString(rep.Render())
+	if g := rep.SharedGroup(); g != nil {
+		fmt.Fprintf(&b, "\nacting on: %s(%s) — one shared-infrastructure incident across %d instances\n",
+			g.Kind, g.Subject, len(g.Parts))
 	}
 	return b.String()
 }

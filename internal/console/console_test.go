@@ -7,6 +7,7 @@ import (
 	"diads/internal/apg"
 	"diads/internal/diag"
 	"diads/internal/exec"
+	"diads/internal/fleet"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
 	"diads/internal/testbed"
@@ -133,5 +134,51 @@ func TestTimingPanelRendersTrace(t *testing.T) {
 	}
 	if s2 := TimingPanel(nil); !strings.Contains(s2, "no trace") {
 		t.Fatalf("nil trace panel wrong:\n%s", s2)
+	}
+}
+
+func TestFleetPanelRendersGroupedView(t *testing.T) {
+	rep := &fleet.Report{
+		Instances: []fleet.InstanceReport{
+			{ID: "inst-0", Shared: true, Events: 4, Detected: true,
+				FirstDetection: simtime.Time(100 * simtime.Minute), Incidents: 1},
+			{ID: "inst-1", Shared: true, Events: 3, Detected: true,
+				FirstDetection: simtime.Time(105 * simtime.Minute), Incidents: 1, Transfers: 2},
+			{ID: "inst-2"},
+		},
+		Groups: []fleet.GroupedIncident{{
+			Kind: symptoms.CauseSANMisconfig, Subject: string(testbed.VolV1), Shared: true,
+			Queries: []string{"Q2"}, TotalImpact: 120, Events: 7,
+			Parts: []fleet.IncidentPart{
+				{Instance: "inst-0", Query: "Q2", Events: 4, Confidence: 95, Impact: 70},
+				{Instance: "inst-1", Query: "Q2", Events: 3, Confidence: 90, Impact: 50},
+			},
+		}},
+		Learning: fleet.LearnStats{
+			Confirmed: 2,
+			Installed: []fleet.InstalledEntry{
+				{Kind: symptoms.CauseSANMisconfig + symptoms.MinedSuffix, Sources: []string{"inst-0"}},
+			},
+			Transfers:         2,
+			TransferInstances: []string{"inst-1"},
+		},
+	}
+	out := FleetPanel(rep)
+	for _, want := range []string{
+		"DIADS — Fleet",
+		"san-misconfig-contention(vol-V1)",
+		"inst-0",
+		"shared",
+		"transfers",
+		"acting on:",
+		"across 2 instances",
+		"mined from inst-0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet panel missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(FleetPanel(nil), "no fleet report") {
+		t.Error("nil report should render a placeholder")
 	}
 }

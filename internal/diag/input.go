@@ -56,9 +56,17 @@ type Input struct {
 	// configuration; purge the cache after configuration changes.
 	APGCache *cache.LRU[string, *apg.APG]
 	// SDCache, when non-nil, caches symptoms-database evaluations keyed
-	// by (plan signature, fact-base fingerprint), so identical symptom
-	// sets are not re-scored entry by entry.
+	// by (plan signature, fact-base fingerprint, SymDB version), so
+	// identical symptom sets are not re-scored entry by entry while
+	// database growth (mined entries) still invalidates stale results.
 	SDCache *cache.LRU[string, []symptoms.CauseInstance]
+
+	// CacheScope namespaces APGCache/SDCache keys. A service diagnosing
+	// several fleet instances through shared caches sets it to the
+	// instance ID: the instances' plans share signatures but their SAN
+	// topologies diverge once faults are injected, so a cached APG from
+	// one instance must never satisfy another's diagnosis.
+	CacheScope string
 }
 
 // threshold returns the configured or default anomaly threshold.

@@ -119,8 +119,9 @@ func runAPG(ctx context.Context, bb *pipeline.Blackboard) (any, error) {
 	return apg.Build(pd.CommonPlan, in.Cfg, in.Cat, in.Server)
 }
 
-// apgCacheSpec caches built APGs by plan signature when the input
-// carries an APG cache (the online service shares one across workers).
+// apgCacheSpec caches built APGs by (cache scope, plan signature) when
+// the input carries an APG cache (the online service shares one across
+// workers; the scope keeps fleet instances' topologies apart).
 func apgCacheSpec() *pipeline.CacheSpec {
 	return &pipeline.CacheSpec{
 		Key: func(bb *pipeline.Blackboard) (string, bool) {
@@ -128,7 +129,7 @@ func apgCacheSpec() *pipeline.CacheSpec {
 			if err != nil || in.APGCache == nil {
 				return "", false
 			}
-			return mustDep[*PDResult](bb, KeyPD).CommonPlan.Signature(), true
+			return in.CacheScope + "|" + mustDep[*PDResult](bb, KeyPD).CommonPlan.Signature(), true
 		},
 		Get: func(bb *pipeline.Blackboard, key string) (any, bool) {
 			in, _ := inputOf(bb)
@@ -202,8 +203,11 @@ func runSD(ctx context.Context, bb *pipeline.Blackboard) (any, error) {
 	return in.SymDB.Evaluate(facts, Bindings(in, g)), nil
 }
 
-// sdCacheSpec caches symptoms-database evaluations by (plan signature,
-// fact-base fingerprint) when the input carries an SD cache.
+// sdCacheSpec caches symptoms-database evaluations by (cache scope, plan
+// signature, fact-base fingerprint, SymDB version) when the input
+// carries an SD cache. The version term makes installing a mined entry
+// into a live shared database invalidate prior evaluations instead of
+// hiding the new entry behind stale cache hits.
 func sdCacheSpec() *pipeline.CacheSpec {
 	return &pipeline.CacheSpec{
 		Key: func(bb *pipeline.Blackboard) (string, bool) {
@@ -213,7 +217,9 @@ func sdCacheSpec() *pipeline.CacheSpec {
 			}
 			g := mustDep[*apg.APG](bb, KeyAPG)
 			facts := mustDep[*symptoms.FactBase](bb, KeyFacts)
-			return g.Plan.Signature() + "/" + facts.Fingerprint(), true
+			key := fmt.Sprintf("%s|%s/%s@v%d",
+				in.CacheScope, g.Plan.Signature(), facts.Fingerprint(), in.SymDB.Version())
+			return key, true
 		},
 		Get: func(bb *pipeline.Blackboard, key string) (any, bool) {
 			in, _ := inputOf(bb)

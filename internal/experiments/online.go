@@ -5,14 +5,12 @@ import (
 	"fmt"
 	"strings"
 
-	"diads/internal/faults"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/service"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
 	"diads/internal/testbed"
-	"diads/internal/workload"
 )
 
 // OnlineResult is the outcome of the online-pipeline scenario: a
@@ -72,29 +70,11 @@ func (r *OnlineResult) Render() string {
 // between simulation chunks, and the final registry must rank the
 // misconfiguration on V1 as the top incident.
 func Online(seed int64) (*OnlineResult, error) {
-	tb, err := testbed.NewFigure1(testbed.DefaultConfig(seed))
+	env, err := BuildOnline(OnlineSpec{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	onset, horizon := faultOnset(), scheduleHorizon()
-	tb.Schedules = []workload.QuerySchedule{
-		{Query: "Q2", Start: simtime.Time(10 * simtime.Minute), Period: 30 * simtime.Minute, Count: scenarioRuns},
-		{Query: "Q6", Start: simtime.Time(12 * simtime.Minute), Period: 20 * simtime.Minute, Count: 3 * scenarioRuns / 2},
-		{Query: "Q14", Start: simtime.Time(14 * simtime.Minute), Period: 25 * simtime.Minute, Count: 6 * scenarioRuns / 5},
-	}
-	for i := range tb.Loads {
-		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
-	}
-	if err := faults.Inject(tb, &faults.SANMisconfiguration{
-		At: onset, Until: horizon, Pool: testbed.PoolP1,
-		NewVolume: "vol-Vp", Host: testbed.ServerApp1,
-		ReadIOPS: 450, WriteIOPS: 120,
-	}); err != nil {
-		return nil, err
-	}
-
-	mon := monitor.New(monitor.Config{})
-	tb.Engine.OnRunComplete = mon.Observe
+	tb, mon, onset := env.Testbed, env.Monitor, env.Onset
 
 	watcher := monitor.NewWatcher(tb.Store, monitor.Config{MinRuns: 12, MinFactor: 1.3})
 	watcher.Watch(string(testbed.VolV1), metrics.VolReadTime)

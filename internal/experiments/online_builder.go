@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"diads/internal/faults"
+	"diads/internal/monitor"
+	"diads/internal/simtime"
+	"diads/internal/testbed"
+	"diads/internal/workload"
+)
+
+// OnlineSpec parameterizes the shared online-scenario assembly: the
+// Figure 1 testbed under the three-query workload (Q2 on the V1 volume;
+// Q6 and Q14 on V2) with the SAN misconfiguration injected mid-timeline
+// and a monitor wired to the engine's completion hook. experiments.Online,
+// cmd/diadsd, and the fleet builder all construct their instances from
+// it, so the wiring cannot drift between them again.
+type OnlineSpec struct {
+	// Seed drives all of the instance's randomness.
+	Seed int64
+	// Runs is the number of Q2 occurrences (minimum 2; default 16). Q6
+	// and Q14 scale along at 3/2 and 6/5 of it.
+	Runs int
+	// Offset shifts every schedule start. The fleet staggers its
+	// instances' workloads with it, the way independent production
+	// databases never run their batch windows in phase.
+	Offset simtime.Duration
+	// NoFault skips the SAN misconfiguration: the instance runs healthy.
+	// The fleet uses it for instances not attached to the degraded
+	// shared pool.
+	NoFault bool
+	// Monitor tunes online detection (zero value = defaults).
+	Monitor monitor.Config
+}
+
+// OnlineEnv is one assembled online-scenario instance: the testbed with
+// schedules, loads, and (unless NoFault) the fault injected, and a
+// monitor already attached to the engine's OnRunComplete hook.
+type OnlineEnv struct {
+	Testbed *testbed.Testbed
+	Monitor *monitor.Monitor
+	// Onset is when the SAN misconfiguration strikes (meaningful only
+	// when the fault is injected); Horizon is the end of the schedule.
+	Onset   simtime.Time
+	Horizon simtime.Time
+}
+
+// BuildOnline assembles one online-scenario instance from the spec.
+func BuildOnline(spec OnlineSpec) (*OnlineEnv, error) {
+	runs := spec.Runs
+	if runs == 0 {
+		runs = scenarioRuns
+	}
+	if runs < 2 {
+		return nil, fmt.Errorf("experiments: online scenario needs at least 2 runs, got %d", runs)
+	}
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	start := simtime.Time(10 * simtime.Minute).Add(spec.Offset)
+	horizon := start.Add(simtime.Duration(runs) * 30 * simtime.Minute)
+	onset := start.Add(simtime.Duration(runs/2)*30*simtime.Minute - 5*simtime.Minute)
+	tb.Schedules = []workload.QuerySchedule{
+		{Query: "Q2", Start: start, Period: 30 * simtime.Minute, Count: runs},
+		{Query: "Q6", Start: start.Add(2 * simtime.Minute), Period: 20 * simtime.Minute, Count: 3 * runs / 2},
+		{Query: "Q14", Start: start.Add(4 * simtime.Minute), Period: 25 * simtime.Minute, Count: 6 * runs / 5},
+	}
+	for i := range tb.Loads {
+		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
+	}
+	if !spec.NoFault {
+		if err := faults.Inject(tb, &faults.SANMisconfiguration{
+			At: onset, Until: horizon, Pool: testbed.PoolP1,
+			NewVolume: "vol-Vp", Host: testbed.ServerApp1,
+			ReadIOPS: 450, WriteIOPS: 120,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	mon := monitor.New(spec.Monitor)
+	tb.Engine.OnRunComplete = mon.Observe
+	return &OnlineEnv{Testbed: tb, Monitor: mon, Onset: onset, Horizon: horizon}, nil
+}

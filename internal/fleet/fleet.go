@@ -1,0 +1,371 @@
+// Package fleet runs many database+SAN instances through one shared
+// diagnosis pipeline — the layer above the single-instance online loop
+// that the paper's symptoms-database design (Section 7) anticipates:
+// diagnosis knowledge amortized across deployments.
+//
+// A Fleet streams N independent testbed instances concurrently, each on
+// its own seed and timeline. Instances synchronize at chunk boundaries:
+// between barriers they simulate in parallel, and at each barrier a
+// single coordinator drains every monitor's slowdown events in instance
+// order, fans them into one shared service.Service (instance-tagged job
+// keys, per-instance diagnosis environments, instance-scoped caches),
+// waits for the worker pool to go quiescent, and runs the
+// symptom-learning step. Because every cross-instance interaction
+// happens in that deterministic coordinator — never in the concurrently
+// simulating instances — a fleet run is byte-identical per seed
+// regardless of MaxStreams or service worker count, and diagnosis never
+// races metric emission: instances are parked while their events are
+// diagnosed.
+//
+// The fold back up is the fleet incident view: registry incidents whose
+// subject is shared SAN infrastructure group across the instances
+// attached to it, so a misconfigured shared pool degrading six of eight
+// instances surfaces as one correlated fleet incident with a
+// per-instance breakdown, not six unrelated ones.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"diads/internal/monitor"
+	"diads/internal/service"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+)
+
+// Instance is one database+SAN deployment the fleet streams: an
+// unsimulated testbed with a monitor attached to its engine's
+// OnRunComplete hook.
+type Instance struct {
+	ID      string
+	Testbed *testbed.Testbed
+	Monitor *monitor.Monitor
+	// Shared marks the instance as attached to the fleet's shared SAN
+	// pool: its incidents on shared components (Config.SharedSubjects)
+	// group with other attached instances' into one fleet incident.
+	Shared bool
+}
+
+// Config tunes the fleet.
+type Config struct {
+	// SymDB is the fleet-shared symptoms database every instance
+	// diagnoses against and the learning loop installs mined entries
+	// into (default symptoms.Builtin()).
+	SymDB *symptoms.DB
+	// Chunk is the simulation chunk, the monitoring lag and the
+	// coordination granularity (default 10 minutes).
+	Chunk simtime.Duration
+	// MaxStreams caps concurrently-simulating instances (0 = all).
+	// Coordination is barrier-synchronized, so the setting changes wall
+	// time only, never results.
+	MaxStreams int
+	// Service tunes the shared diagnosis service. Queue and cache sizes
+	// of zero are raised to fleet-scale defaults generous enough that
+	// no event is shed and no cache entry evicted mid-run — shedding
+	// and eviction under concurrency are the two ways a fleet run could
+	// lose determinism.
+	Service service.Config
+	// Learn tunes the cross-instance symptom-learning loop.
+	Learn LearnConfig
+	// SharedSubjects lists the component IDs of the shared SAN
+	// infrastructure (the pool, its volumes, its disks). Incidents on
+	// these subjects from Shared instances group across the fleet.
+	SharedSubjects []string
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.SymDB == nil {
+		c.SymDB = symptoms.Builtin()
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 10 * simtime.Minute
+	}
+	if c.MaxStreams <= 0 || c.MaxStreams > n {
+		c.MaxStreams = n
+	}
+	if c.Service.Queue <= 0 {
+		c.Service.Queue = 1024
+	}
+	if c.Service.ResultCacheSize <= 0 {
+		c.Service.ResultCacheSize = 4096
+	}
+	if c.Service.APGCacheSize <= 0 {
+		c.Service.APGCacheSize = 64 * n
+	}
+	if c.Service.SDCacheSize <= 0 {
+		c.Service.SDCacheSize = 4096
+	}
+	c.Learn = c.Learn.withDefaults()
+	return c
+}
+
+// instanceState is the fleet's per-instance bookkeeping. The coordinator
+// owns events/detected/firstDetection (written only between barriers);
+// transfers is written by service workers under the fleet mutex.
+type instanceState struct {
+	Instance
+	gate           *monitor.Gate
+	resume         chan struct{}
+	events         int
+	detected       bool
+	firstDetection simtime.Time
+	transfers      int
+}
+
+// Fleet drives the instances. Construct with New, then Run once.
+type Fleet struct {
+	cfg       Config
+	symdb     *symptoms.DB
+	instances []*instanceState
+	byID      map[string]*instanceState
+	shared    map[string]bool
+	svc       *service.Service
+
+	mu    sync.Mutex // guards learn and instanceState.transfers
+	learn learnState
+
+	ran bool
+}
+
+// New assembles a fleet over the instances. Instance testbeds must be
+// freshly built (not yet simulated) and monitors already attached.
+func New(cfg Config, instances []Instance) (*Fleet, error) {
+	if len(instances) == 0 {
+		return nil, errors.New("fleet: no instances")
+	}
+	cfg = cfg.withDefaults(len(instances))
+	f := &Fleet{
+		cfg:    cfg,
+		symdb:  cfg.SymDB,
+		byID:   make(map[string]*instanceState, len(instances)),
+		shared: make(map[string]bool, len(cfg.SharedSubjects)),
+		learn:  newLearnState(),
+	}
+	for _, s := range cfg.SharedSubjects {
+		f.shared[s] = true
+	}
+	for i, inst := range instances {
+		if inst.ID == "" {
+			return nil, fmt.Errorf("fleet: instance %d has no ID", i)
+		}
+		if inst.Testbed == nil || inst.Monitor == nil {
+			return nil, fmt.Errorf("fleet: instance %q needs a testbed and a monitor", inst.ID)
+		}
+		if f.byID[inst.ID] != nil {
+			return nil, fmt.Errorf("fleet: duplicate instance ID %q", inst.ID)
+		}
+		st := &instanceState{
+			Instance: inst,
+			gate:     &monitor.Gate{},
+			resume:   make(chan struct{}, 1),
+		}
+		f.instances = append(f.instances, st)
+		f.byID[inst.ID] = st
+	}
+	f.svc = service.New(f.envOf(f.instances[0]), cfg.Service)
+	for _, st := range f.instances {
+		f.svc.AddInstance(st.ID, f.envOf(st))
+	}
+	f.svc.OnDiagnosis = f.onDiagnosis
+	return f, nil
+}
+
+// envOf assembles an instance's diagnosis environment around the
+// fleet-shared symptoms database.
+func (f *Fleet) envOf(st *instanceState) service.Env {
+	tb := st.Testbed
+	return service.Env{
+		Store: tb.Store, Cfg: tb.Cfg, Cat: tb.Cat, Opt: tb.Opt,
+		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
+		SymDB: f.symdb,
+	}
+}
+
+// chunkMsg is one instance's arrival at a chunk boundary (or its
+// completion).
+type chunkMsg struct {
+	idx  int
+	now  simtime.Time
+	done bool
+	err  error
+}
+
+// Run streams every instance to the end of its timeline and returns the
+// fleet report. It may be called once.
+func (f *Fleet) Run(ctx context.Context) (*Report, error) {
+	if f.ran {
+		return nil, errors.New("fleet: already ran")
+	}
+	f.ran = true
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	f.svc.Start(ctx)
+
+	n := len(f.instances)
+	barrier := make(chan chunkMsg, n)
+	sem := make(chan struct{}, f.cfg.MaxStreams)
+	var wg sync.WaitGroup
+	for i, st := range f.instances {
+		wg.Add(1)
+		go func(i int, st *instanceState) {
+			defer wg.Done()
+			held := false
+			acquire := func() error {
+				select {
+				case sem <- struct{}{}:
+					held = true
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			release := func() {
+				if held {
+					<-sem
+					held = false
+				}
+			}
+			err := acquire()
+			if err == nil {
+				err = st.Testbed.SimulateStream(f.cfg.Chunk, func(now simtime.Time) error {
+					release()
+					select {
+					case barrier <- chunkMsg{idx: i, now: now}:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+					select {
+					case <-st.resume:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+					return acquire()
+				})
+			}
+			release()
+			barrier <- chunkMsg{idx: i, done: true, err: err}
+		}(i, st)
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		// Plain cancellations are the unwind of an earlier failure (or
+		// of the caller's context), not a cause of their own.
+		if firstErr == nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+		}
+		cancel()
+	}
+
+	alive := n
+	atBarrier := make([]bool, n)
+	justDone := make([]bool, n)
+	watermark := make([]simtime.Time, n)
+	for alive > 0 {
+		// Collect one message from every alive instance: its next chunk
+		// boundary, or its completion.
+		for i := range justDone {
+			justDone[i] = false
+		}
+		arrived := 0
+		for arrived < alive {
+			msg := <-barrier
+			if msg.done {
+				alive--
+				justDone[msg.idx] = true
+				fail(msg.err)
+				continue
+			}
+			atBarrier[msg.idx] = true
+			watermark[msg.idx] = msg.now
+			arrived++
+		}
+		// Every instance is now parked (or finished): drain and submit
+		// in instance order, settle the worker pool, then learn. Nothing
+		// simulates while diagnoses read the metric stores.
+		if firstErr == nil {
+			for i, st := range f.instances {
+				w := watermark[i]
+				if justDone[i] {
+					w = simtime.Time(math.MaxFloat64)
+				} else if !atBarrier[i] {
+					continue
+				}
+				if err := f.drain(st, w); err != nil {
+					fail(err)
+					break
+				}
+			}
+		}
+		if firstErr == nil {
+			f.svc.Wait()
+			f.learnStep()
+		}
+		for i, st := range f.instances {
+			if atBarrier[i] {
+				atBarrier[i] = false
+				st.resume <- struct{}{}
+			}
+		}
+	}
+	wg.Wait()
+	f.svc.Wait()
+	f.svc.Stop()
+	if firstErr == nil {
+		// A caller-canceled context unwinds the instances with plain
+		// context.Canceled errors, which fail() filters; surface the
+		// cancellation itself rather than an empty report. The fleet's
+		// own deferred cancel has not run yet, so a successful run
+		// reads a nil cause here.
+		firstErr = context.Cause(ctx)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f.report(), nil
+}
+
+// drain moves an instance's detected slowdowns into the shared service:
+// monitor events are tagged with the instance and gated until the
+// instance's metric watermark covers their evidence window.
+func (f *Fleet) drain(st *instanceState, w simtime.Time) error {
+	for {
+		select {
+		case ev := <-st.Monitor.Events():
+			ev.Instance = st.ID
+			st.events++
+			if !st.detected || ev.At < st.firstDetection {
+				st.detected = true
+				st.firstDetection = ev.At
+			}
+			st.gate.Add(ev)
+			continue
+		default:
+		}
+		break
+	}
+	for _, ev := range st.gate.Release(w) {
+		switch err := f.svc.Submit(ev); err {
+		case nil, service.ErrDuplicate:
+		case service.ErrBackpressure:
+			// Shed events are counted in Stats.Rejected; the fleet's
+			// default queue is sized so this never happens.
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// Service exposes the shared diagnosis service (registry, stats,
+// per-module totals).
+func (f *Fleet) Service() *service.Service { return f.svc }

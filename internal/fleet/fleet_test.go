@@ -1,0 +1,98 @@
+// Fleet tests live in an external test package so they can assemble
+// realistic instances through the shared online-scenario builder in
+// internal/experiments (which itself imports fleet).
+package fleet_test
+
+import (
+	"testing"
+
+	"diads/internal/experiments"
+	"diads/internal/symptoms"
+	"diads/internal/testbed"
+)
+
+const testSeed = 400
+
+// TestFleetDeterministicAcrossConcurrency pins the tentpole's
+// determinism contract: the grouped fleet report is byte-identical for a
+// seed across repeated runs, across MaxStreams settings (how many
+// instances simulate concurrently), and across service worker counts.
+// Run under -race this also proves the barrier coordination is sound.
+func TestFleetDeterministicAcrossConcurrency(t *testing.T) {
+	base := experiments.FleetSpec{
+		Seed: testSeed, Instances: 8, Degraded: 6, Runs: 12,
+	}
+	configs := []struct {
+		name string
+		spec experiments.FleetSpec
+	}{
+		{"concurrent", base},
+		{"concurrent-again", base},
+		{"sequential-streams-single-worker", func() experiments.FleetSpec {
+			s := base
+			s.MaxStreams, s.Workers = 1, 1
+			return s
+		}()},
+	}
+	var want string
+	for _, c := range configs {
+		rep, _, err := experiments.RunFleetSpec(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Stats.Rejected != 0 || rep.Stats.Failed != 0 {
+			t.Fatalf("%s: rejected=%d failed=%d, want 0/0",
+				c.name, rep.Stats.Rejected, rep.Stats.Failed)
+		}
+		got := rep.Render()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: report diverged from the first run\n--- want ---\n%s\n--- got ---\n%s",
+				c.name, want, got)
+		}
+	}
+}
+
+// TestFleetGroupsSharedPoolAcrossSeeds sweeps seeds on the shared-pool
+// scenario: the misconfiguration must always fold into one correlated
+// cross-instance incident ranked first, spanning exactly the attached
+// instances, with the healthy instances untouched.
+func TestFleetGroupsSharedPoolAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rep, _, err := experiments.RunFleetSpec(experiments.FleetSpec{
+			Seed: seed, Instances: 4, Degraded: 3, Runs: 12,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := rep.SharedGroup()
+		if g == nil {
+			t.Fatalf("seed %d: no cross-instance group\n%s", seed, rep.Render())
+		}
+		if len(rep.Groups) == 0 || !rep.Groups[0].Shared {
+			t.Errorf("seed %d: shared incident not ranked first", seed)
+		}
+		if g.Kind != symptoms.CauseSANMisconfig || g.Subject != string(testbed.VolV1) {
+			t.Errorf("seed %d: group = %s(%s), want %s(%s)",
+				seed, g.Kind, g.Subject, symptoms.CauseSANMisconfig, testbed.VolV1)
+		}
+		if len(g.Parts) != 3 {
+			t.Errorf("seed %d: group spans %d instances, want the 3 degraded ones",
+				seed, len(g.Parts))
+		}
+		for _, p := range g.Parts {
+			if p.Instance == "inst-3" {
+				t.Errorf("seed %d: healthy instance %s in the shared group", seed, p.Instance)
+			}
+		}
+		for _, ir := range rep.Instances[3:] {
+			if ir.Events != 0 || ir.Incidents != 0 {
+				t.Errorf("seed %d: healthy %s has events=%d incidents=%d",
+					seed, ir.ID, ir.Events, ir.Incidents)
+			}
+		}
+	}
+}

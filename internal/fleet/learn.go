@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"sort"
+
+	"diads/internal/diag"
+	"diads/internal/monitor"
+	"diads/internal/service"
+	"diads/internal/symptoms"
+)
+
+// confirmConfidence is the diagnosis confidence an incident needs before
+// the fleet treats it as expert-confirmed and feeds it to the miner —
+// the paper's High category boundary.
+const confirmConfidence = 80
+
+// LearnConfig tunes the cross-instance symptom-learning loop, the
+// paper's Section 7 self-evolving symptoms database closed at fleet
+// scale: confirmed incidents on some instances are mined into candidate
+// entries, accepted candidates are installed into the fleet-shared
+// database, and subsequent diagnoses on *other* instances evaluate them.
+type LearnConfig struct {
+	// Disabled switches the loop off (the before-side of the fleet
+	// experiment's before/after comparison).
+	Disabled bool
+	// MinIncidents is how many confirmed incidents of a cause kind the
+	// miner needs before proposing an entry (default 2).
+	MinIncidents int
+	// ConfirmEvents is how many slowdown events an incident must
+	// accumulate at high confidence before it counts as confirmed
+	// (default 2) — standing in for the expert's review.
+	ConfirmEvents int
+}
+
+func (c LearnConfig) withDefaults() LearnConfig {
+	if c.MinIncidents <= 0 {
+		c.MinIncidents = 2
+	}
+	if c.ConfirmEvents <= 0 {
+		c.ConfirmEvents = 2
+	}
+	return c
+}
+
+// incidentID is the registry identity of a confirmed incident.
+type incidentID struct {
+	instance, query, kind, subject string
+}
+
+// learnState is the loop's accumulated knowledge. All fields are guarded
+// by Fleet.mu; the coordinator mutates them only while the service is
+// quiescent, so diagnosis workers always evaluate a stable database.
+type learnState struct {
+	miner symptoms.Miner
+	// fed marks incidents already given to the miner.
+	fed map[incidentID]bool
+	// sources accumulates, per prospective mined kind, the instances
+	// whose confirmed incidents support it.
+	sources map[string]map[string]bool
+	// authors freezes sources at install time: instances that confirmed
+	// after the entry was installed are beneficiaries, not authors.
+	authors map[string]map[string]bool
+	// installedOrder lists installed mined kinds in install order.
+	installedOrder []string
+	confirmed      int
+	transfers      int
+	transferredTo  map[string]bool
+}
+
+func newLearnState() learnState {
+	return learnState{
+		fed:           make(map[incidentID]bool),
+		sources:       make(map[string]map[string]bool),
+		authors:       make(map[string]map[string]bool),
+		transferredTo: make(map[string]bool),
+	}
+}
+
+// learnStep runs at each barrier while the service is quiescent: feed
+// newly-confirmed incidents to the miner, then install newly-proposed
+// candidates into the shared database. Installation bumps the database
+// version, which invalidates cached symptoms evaluations, so the entry
+// takes effect on the very next diagnosis.
+func (f *Fleet) learnStep() {
+	if f.cfg.Learn.Disabled {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, inc := range f.svc.Registry().Incidents() {
+		if inc.Kind == service.PlanChangeKind || symptoms.IsMined(inc.Kind) {
+			continue
+		}
+		if inc.Confidence < confirmConfidence || inc.Events < f.cfg.Learn.ConfirmEvents {
+			continue
+		}
+		if inc.Result == nil || inc.Result.Facts == nil {
+			continue
+		}
+		id := incidentID{inc.Instance, inc.Query, inc.Kind, inc.Subject}
+		if f.learn.fed[id] {
+			continue
+		}
+		f.learn.fed[id] = true
+		f.learn.confirmed++
+		f.learn.miner.AddIncident(symptoms.Incident{
+			Facts: inc.Result.Facts, CauseKind: inc.Kind, Subject: inc.Subject,
+		})
+		mined := inc.Kind + symptoms.MinedSuffix
+		if f.learn.sources[mined] == nil {
+			f.learn.sources[mined] = make(map[string]bool)
+		}
+		f.learn.sources[mined][inc.Instance] = true
+	}
+	for _, cand := range f.learn.miner.Propose(f.cfg.Learn.MinIncidents) {
+		if f.learn.authors[cand.CauseKind] != nil {
+			continue // already installed
+		}
+		if err := f.symdb.Add(cand.Entry()); err != nil {
+			continue // unbalanced weights; never expected from the miner
+		}
+		authors := make(map[string]bool, len(f.learn.sources[cand.CauseKind]))
+		for inst := range f.learn.sources[cand.CauseKind] {
+			authors[inst] = true
+		}
+		f.learn.authors[cand.CauseKind] = authors
+		f.learn.installedOrder = append(f.learn.installedOrder, cand.CauseKind)
+	}
+}
+
+// onDiagnosis observes every completed diagnosis (called from service
+// workers): a mined entry scoring high in a diagnosis on an instance
+// that did not author it is a successful cross-instance symptom
+// transfer. The counters are commutative, so concurrent completion
+// order cannot change the final report.
+func (f *Fleet) onDiagnosis(ev monitor.SlowdownEvent, res *diag.Result) {
+	if f.cfg.Learn.Disabled {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range res.Causes {
+		if !symptoms.IsMined(c.Kind) || c.Confidence < confirmConfidence {
+			continue
+		}
+		authors := f.learn.authors[c.Kind]
+		if authors == nil || authors[ev.Instance] {
+			continue
+		}
+		f.learn.transfers++
+		f.learn.transferredTo[ev.Instance] = true
+		if st := f.byID[ev.Instance]; st != nil {
+			st.transfers++
+		}
+	}
+}
+
+// InstalledEntry describes one mined entry installed into the shared
+// database and the instances whose confirmed incidents authored it.
+type InstalledEntry struct {
+	Kind    string
+	Sources []string
+}
+
+// LearnStats summarizes the learning loop's run.
+type LearnStats struct {
+	// Confirmed counts incidents fed to the miner.
+	Confirmed int
+	// Installed lists the mined entries installed, in install order.
+	Installed []InstalledEntry
+	// Transfers counts diagnoses where a mined entry scored high on an
+	// instance that did not author it; TransferInstances lists the
+	// benefiting instances (sorted).
+	Transfers         int
+	TransferInstances []string
+}
+
+// learnStats snapshots the loop's outcome for the report.
+func (f *Fleet) learnStats() LearnStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := LearnStats{
+		Confirmed: f.learn.confirmed,
+		Transfers: f.learn.transfers,
+	}
+	for _, kind := range f.learn.installedOrder {
+		e := InstalledEntry{Kind: kind}
+		for inst := range f.learn.authors[kind] {
+			e.Sources = append(e.Sources, inst)
+		}
+		sort.Strings(e.Sources)
+		out.Installed = append(out.Installed, e)
+	}
+	for inst := range f.learn.transferredTo {
+		out.TransferInstances = append(out.TransferInstances, inst)
+	}
+	sort.Strings(out.TransferInstances)
+	return out
+}

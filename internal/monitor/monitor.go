@@ -37,6 +37,12 @@ type SlowdownEvent struct {
 	Query string
 	RunID string
 	Kind  EventKind
+	// Instance names the database instance the event came from. The
+	// monitor itself leaves it empty (it watches a single instance); the
+	// fleet layer tags events with the instance ID while fanning many
+	// monitors into one shared diagnosis service, so job deduplication
+	// and incident identity stay per-instance.
+	Instance string
 	// At is when the offending run completed.
 	At simtime.Time
 	// Duration is the offending run's time; Baseline the sliding-window
@@ -55,8 +61,12 @@ type SlowdownEvent struct {
 
 // String implements fmt.Stringer.
 func (ev SlowdownEvent) String() string {
+	q := ev.Query
+	if ev.Instance != "" {
+		q = ev.Instance + "/" + ev.Query
+	}
 	return fmt.Sprintf("%s %s %s: %s vs baseline %s (%.2fx, %d-run window)",
-		ev.At.Clock(), ev.Query, ev.Kind, ev.Duration, ev.Baseline, ev.Factor, len(ev.Runs))
+		ev.At.Clock(), q, ev.Kind, ev.Duration, ev.Baseline, ev.Factor, len(ev.Runs))
 }
 
 // Config tunes detection.

@@ -20,7 +20,10 @@ const PlanChangeKind = "plan-change"
 // Incident is one open problem: a root cause aggregated across every
 // diagnosis that identified it for a query.
 type Incident struct {
-	Query string
+	// Instance names the fleet instance the incident belongs to; empty
+	// in single-instance deployments.
+	Instance string
+	Query    string
 	// Kind and Subject name the root cause (PlanChangeKind for plan
 	// regressions, otherwise a symptoms-database cause kind).
 	Kind    string
@@ -60,7 +63,7 @@ func (inc *Incident) EstImpact() float64 {
 
 // incidentKey groups diagnoses into incidents.
 type incidentKey struct {
-	query, kind, subject string
+	instance, query, kind, subject string
 }
 
 // Registry aggregates diagnoses into ranked open incidents. All methods
@@ -92,11 +95,11 @@ func (r *Registry) Record(ev monitor.SlowdownEvent, res *diag.Result) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	k := incidentKey{query: ev.Query, kind: kind, subject: subject}
+	k := incidentKey{instance: ev.Instance, query: ev.Query, kind: kind, subject: subject}
 	inc := r.open[k]
 	if inc == nil {
 		inc = &Incident{
-			Query: ev.Query, Kind: kind, Subject: subject,
+			Instance: ev.Instance, Query: ev.Query, Kind: kind, Subject: subject,
 			FirstSeen: ev.At,
 		}
 		r.open[k] = inc
@@ -120,7 +123,12 @@ func (r *Registry) Record(ev monitor.SlowdownEvent, res *diag.Result) {
 	}
 }
 
-// topCauseOf extracts the leading root cause of a diagnosis.
+// topCauseOf extracts the leading root cause of a diagnosis. Mined
+// symptoms-database entries (kinds with symptoms.MinedSuffix) never name
+// an incident: they are corroborating evidence pending expert adoption,
+// and their global-scope subject is the query, not a component — filing
+// under them would both misname the subject and fork a second incident
+// for a cause the expert-authored entry already tracks.
 func topCauseOf(res *diag.Result) (kind, subject string, confidence, impact float64) {
 	if res.PD.Changed {
 		subj := "plan"
@@ -132,12 +140,17 @@ func topCauseOf(res *diag.Result) (kind, subject string, confidence, impact floa
 		}
 		return PlanChangeKind, subj, 100, 100
 	}
-	if top, ok := res.TopCause(); ok {
-		return top.Cause.Kind, top.Cause.Subject, top.Cause.Confidence, top.Score
+	if res.IA != nil {
+		for _, item := range res.IA.Items {
+			if symptoms.IsMined(item.Cause.Kind) {
+				continue
+			}
+			return item.Cause.Kind, item.Cause.Subject, item.Cause.Confidence, item.Score
+		}
 	}
 	// Fall back to the raw SD ranking when IA produced no items.
 	for _, c := range res.Causes {
-		if c.Category != symptoms.Low {
+		if c.Category != symptoms.Low && !symptoms.IsMined(c.Kind) {
 			return c.Kind, c.Subject, c.Confidence, 0
 		}
 	}
@@ -145,7 +158,11 @@ func topCauseOf(res *diag.Result) (kind, subject string, confidence, impact floa
 }
 
 // Incidents returns the open incidents ranked by estimated impact
-// (descending), ties broken by recency then name for determinism.
+// (descending), ties broken by recency then the full stable identity
+// (instance, query, kind, subject). The tie-break chain covers every
+// field of the incident key, so the ranking is a total order independent
+// of map iteration and diagnosis completion order — fleet-level grouping
+// built on top of it must never flutter between runs.
 func (r *Registry) Incidents() []Incident {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -160,10 +177,16 @@ func (r *Registry) Incidents() []Incident {
 		if out[i].LastSeen != out[j].LastSeen {
 			return out[i].LastSeen > out[j].LastSeen
 		}
+		if out[i].Instance != out[j].Instance {
+			return out[i].Instance < out[j].Instance
+		}
 		if out[i].Query != out[j].Query {
 			return out[i].Query < out[j].Query
 		}
-		return out[i].Kind < out[j].Kind
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Subject < out[j].Subject
 	})
 	return out
 }
@@ -188,8 +211,12 @@ func (r *Registry) Render() string {
 	fmt.Fprintf(&b, "  %-4s %-5s %-36s %-14s %6s %6s %9s\n",
 		"rank", "query", "cause(subject)", "last seen", "events", "conf%", "impact(s)")
 	for i, inc := range incs {
+		q := inc.Query
+		if inc.Instance != "" {
+			q = inc.Instance + "/" + inc.Query
+		}
 		fmt.Fprintf(&b, "  %-4d %-5s %-36s %-14s %6d %6.0f %9.1f\n",
-			i+1, inc.Query, fmt.Sprintf("%s(%s)", inc.Kind, inc.Subject),
+			i+1, q, fmt.Sprintf("%s(%s)", inc.Kind, inc.Subject),
 			inc.LastSeen.Clock(), inc.Events, inc.Confidence, inc.EstImpact())
 	}
 	return b.String()

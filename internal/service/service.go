@@ -91,9 +91,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// jobKey identifies a diagnosis job for deduplication: same query, same
-// evidence window.
+// jobKey identifies a diagnosis job for deduplication: same instance,
+// same query, same evidence window.
 type jobKey struct {
+	instance   string
 	query      string
 	start, end float64 // simtime seconds of the event window
 }
@@ -128,6 +129,16 @@ func (s Stats) String() string {
 type Service struct {
 	cfg Config
 	env Env
+	// envs holds per-instance diagnosis environments for fleet mode,
+	// keyed by SlowdownEvent.Instance; events without an instance tag
+	// use env. Populated by AddInstance before Start.
+	envs map[string]Env
+
+	// OnDiagnosis, when non-nil, observes every completed diagnosis
+	// (called from worker goroutines after the registry is updated). The
+	// fleet layer hangs its symptom-transfer accounting on it. Set it
+	// before Start.
+	OnDiagnosis func(ev monitor.SlowdownEvent, res *diag.Result)
 
 	jobs    chan job
 	quit    chan struct{} // closed by Stop; retires the ctx watcher
@@ -167,6 +178,26 @@ func New(env Env, cfg Config) *Service {
 	}
 	s.idle.L = &s.mu
 	return s
+}
+
+// AddInstance registers a per-instance diagnosis environment: events
+// tagged with the instance ID diagnose against it instead of the default
+// environment. Call before Start; events for unregistered instances fail
+// their diagnosis (counted in Stats.Failed).
+func (s *Service) AddInstance(id string, env Env) {
+	if s.envs == nil {
+		s.envs = make(map[string]Env)
+	}
+	s.envs[id] = env
+}
+
+// envFor resolves the environment an event diagnoses against.
+func (s *Service) envFor(instance string) (Env, bool) {
+	if instance == "" {
+		return s.env, true
+	}
+	env, ok := s.envs[instance]
+	return env, ok
 }
 
 // Registry exposes the ranked-incident registry.
@@ -246,7 +277,10 @@ func (s *Service) Wait() {
 // recurrence when a cached result exists).
 func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	s.submitted.Add(1)
-	key := jobKey{query: ev.Query, start: float64(ev.Window.Start), end: float64(ev.Window.End)}
+	key := jobKey{
+		instance: ev.Instance, query: ev.Query,
+		start: float64(ev.Window.Start), end: float64(ev.Window.End),
+	}
 
 	s.mu.Lock()
 	if s.stopped {
@@ -304,21 +338,27 @@ func (s *Service) run(ctx context.Context, j job) {
 		s.mu.Unlock()
 	}()
 
+	env, ok := s.envFor(j.ev.Instance)
+	if !ok {
+		s.failed.Add(1)
+		return
+	}
 	in := &diag.Input{
 		Query:        j.ev.Query,
 		Runs:         j.ev.Runs,
 		Satisfactory: j.ev.Satisfactory,
-		Store:        s.env.Store,
-		Cfg:          s.env.Cfg,
-		Cat:          s.env.Cat,
-		Opt:          s.env.Opt,
-		Params:       s.env.Params,
-		Stats:        s.env.Stats,
-		Server:       s.env.Server,
-		SymDB:        s.env.SymDB,
-		Threshold:    s.env.Threshold,
+		Store:        env.Store,
+		Cfg:          env.Cfg,
+		Cat:          env.Cat,
+		Opt:          env.Opt,
+		Params:       env.Params,
+		Stats:        env.Stats,
+		Server:       env.Server,
+		SymDB:        env.SymDB,
+		Threshold:    env.Threshold,
 		APGCache:     s.apgs,
 		SDCache:      s.sd,
+		CacheScope:   j.ev.Instance,
 	}
 	res, err := diag.DiagnoseContext(ctx, in)
 	if err != nil {
@@ -329,6 +369,9 @@ func (s *Service) run(ctx context.Context, j job) {
 	s.results.Put(j.key, res)
 	s.reg.Record(j.ev, res)
 	s.completed.Add(1)
+	if s.OnDiagnosis != nil {
+		s.OnDiagnosis(j.ev, res)
+	}
 }
 
 // ModuleStat aggregates one workflow module's behavior across every

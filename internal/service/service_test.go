@@ -215,6 +215,146 @@ func TestSubmitStopRaceDoesNotPanic(t *testing.T) {
 	}
 }
 
+// TestRegistryRankingDeterministicTies pins the ranking's total order:
+// incidents with equal estimated impact and recency must sort by the
+// stable (instance, query, kind, subject) identity, never by map or
+// completion order — fleet-level grouping is built on this.
+func TestRegistryRankingDeterministicTies(t *testing.T) {
+	mk := func(instance, query, kind, subject string) (*diag.Result, monitor.SlowdownEvent) {
+		ci := symptoms.CauseInstance{Kind: kind, Subject: subject, Confidence: 90, Category: symptoms.High}
+		res := &diag.Result{
+			Query:  query,
+			PD:     &diag.PDResult{},
+			Causes: []symptoms.CauseInstance{ci},
+			IA:     &diag.IAResult{Items: []diag.ImpactItem{{Cause: ci, Score: 50}}},
+		}
+		ev := monitor.SlowdownEvent{
+			Instance: instance, Query: query, RunID: "r", At: 100,
+			Duration: 120, Baseline: 60,
+			Window: simtime.NewInterval(0, 100),
+		}
+		return res, ev
+	}
+	// Four incidents with identical impact (60s extra × 50%) and
+	// identical LastSeen, differing only in identity fields.
+	type rec struct{ instance, query, kind, subject string }
+	recs := []rec{
+		{"inst-1", "Q2", "cause-a", "vol-V1"},
+		{"inst-0", "Q2", "cause-a", "vol-V2"},
+		{"inst-0", "Q2", "cause-a", "vol-V1"},
+		{"inst-0", "Q2", "cause-b", "vol-V1"},
+	}
+	want := []rec{
+		{"inst-0", "Q2", "cause-a", "vol-V1"},
+		{"inst-0", "Q2", "cause-a", "vol-V2"},
+		{"inst-0", "Q2", "cause-b", "vol-V1"},
+		{"inst-1", "Q2", "cause-a", "vol-V1"},
+	}
+	// Record in several insertion orders; the ranking must not move.
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		reg := NewRegistry()
+		for _, i := range order {
+			r := recs[i]
+			res, ev := mk(r.instance, r.query, r.kind, r.subject)
+			reg.Record(ev, res)
+		}
+		incs := reg.Incidents()
+		if len(incs) != len(want) {
+			t.Fatalf("order %v: incidents = %d, want %d", order, len(incs), len(want))
+		}
+		for i, w := range want {
+			got := rec{incs[i].Instance, incs[i].Query, incs[i].Kind, incs[i].Subject}
+			if got != w {
+				t.Errorf("order %v: rank %d = %+v, want %+v", order, i+1, got, w)
+			}
+		}
+	}
+}
+
+// TestRegistryIgnoresMinedCausesForIdentity pins that mined entries
+// (symptom-learning proposals) corroborate but never name incidents:
+// their global-scope subject is the query, not a component.
+func TestRegistryIgnoresMinedCausesForIdentity(t *testing.T) {
+	mined := symptoms.CauseInstance{
+		Kind: "cause-a" + symptoms.MinedSuffix, Subject: "Q2",
+		Confidence: 100, Category: symptoms.High,
+	}
+	base := symptoms.CauseInstance{
+		Kind: "cause-a", Subject: "vol-V1", Confidence: 90, Category: symptoms.High,
+	}
+	res := &diag.Result{
+		Query:  "Q2",
+		PD:     &diag.PDResult{},
+		Causes: []symptoms.CauseInstance{mined, base},
+		IA: &diag.IAResult{Items: []diag.ImpactItem{
+			{Cause: mined, Score: 80}, {Cause: base, Score: 70},
+		}},
+	}
+	ev := monitor.SlowdownEvent{
+		Query: "Q2", RunID: "r", At: 100, Duration: 120, Baseline: 60,
+		Window: simtime.NewInterval(0, 100),
+	}
+	reg := NewRegistry()
+	reg.Record(ev, res)
+	incs := reg.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	if incs[0].Kind != "cause-a" || incs[0].Subject != "vol-V1" {
+		t.Errorf("incident filed under %s(%s), want cause-a(vol-V1)",
+			incs[0].Kind, incs[0].Subject)
+	}
+}
+
+// TestServiceRoutesInstancesToTheirEnvironments pins fleet routing: the
+// same (query, window) from two instances are distinct jobs diagnosed
+// against their own environments, and an unregistered instance fails
+// rather than silently using another instance's environment.
+func TestServiceRoutesInstancesToTheirEnvironments(t *testing.T) {
+	env, evs := slowdownRig(t, 46)
+	svc := New(env, Config{Workers: 2})
+	svc.AddInstance("inst-a", env)
+	svc.AddInstance("inst-b", env)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	evA, evB, evX := evs[0], evs[0], evs[0]
+	evA.Instance, evB.Instance, evX.Instance = "inst-a", "inst-b", "inst-unknown"
+	if err := svc.Submit(evA); err != nil {
+		t.Fatalf("submit inst-a: %v", err)
+	}
+	if err := svc.Submit(evB); err != nil {
+		t.Fatalf("same window, different instance must not dedup: %v", err)
+	}
+	if err := svc.Submit(evA); err != ErrDuplicate {
+		t.Errorf("same instance and window = %v, want ErrDuplicate", err)
+	}
+	if err := svc.Submit(evX); err != nil {
+		t.Fatalf("submit unknown instance: %v", err)
+	}
+	svc.Wait()
+	svc.Stop()
+
+	st := svc.Stats()
+	if st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 2 completed (a, b) and 1 failed (unknown)",
+			st.Completed, st.Failed)
+	}
+	incs := svc.Registry().Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want one per instance", len(incs))
+	}
+	for _, inc := range incs {
+		if inc.Instance != "inst-a" && inc.Instance != "inst-b" {
+			t.Errorf("incident instance = %q", inc.Instance)
+		}
+	}
+	if !strings.Contains(svc.Registry().Render(), "inst-a/Q2") {
+		t.Errorf("render should show instance-qualified queries:\n%s", svc.Registry().Render())
+	}
+}
+
 func TestRegistryRanksByEstimatedImpact(t *testing.T) {
 	reg := NewRegistry()
 	mk := func(query, kind, subject string, conf, impact float64) (*diag.Result, monitor.SlowdownEvent) {

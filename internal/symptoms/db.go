@@ -79,9 +79,13 @@ func (c CauseInstance) String() string {
 	return fmt.Sprintf("%s(%s) confidence=%.0f%% [%s]", c.Kind, c.Subject, c.Confidence, c.Category)
 }
 
-// DB is a symptoms database.
+// DB is a symptoms database. Reads are safe for concurrent use;
+// mutations (Add, Remove) must be externally synchronized with readers —
+// the fleet layer installs mined entries only while its diagnosis
+// service is quiescent.
 type DB struct {
 	entries []Entry
+	version int
 }
 
 // NewDB returns an empty symptoms database.
@@ -97,11 +101,18 @@ func (db *DB) Add(e Entry) error {
 		return fmt.Errorf("symptoms: entry %q weights sum to %.1f, want 100", e.Kind, sum)
 	}
 	db.entries = append(db.entries, e)
+	db.version++
 	return nil
 }
 
 // Entries returns the entries.
 func (db *DB) Entries() []Entry { return db.entries }
+
+// Version counts the mutations the database has seen. Caches of
+// evaluation results key on it so installing or removing an entry
+// (the fleet's symptom-learning loop grows the shared database mid-run)
+// invalidates stale evaluations instead of silently hiding new entries.
+func (db *DB) Version() int { return db.version }
 
 // Remove deletes all entries of the given kind, reporting how many were
 // removed. It supports the paper's incomplete-symptoms-database
@@ -117,6 +128,9 @@ func (db *DB) Remove(kind string) int {
 		kept = append(kept, e)
 	}
 	db.entries = kept
+	if removed > 0 {
+		db.version++
+	}
 	return removed
 }
 

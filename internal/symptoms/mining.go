@@ -25,6 +25,16 @@ type Incident struct {
 	Subject   string
 }
 
+// MinedSuffix marks cause kinds proposed by the miner rather than
+// authored by an expert. Downstream consumers treat mined causes as
+// corroborating evidence: the incident registry never files an incident
+// under a mined kind, but the fleet layer counts a mined entry scoring
+// high in another instance's diagnosis as a successful symptom transfer.
+const MinedSuffix = "-mined"
+
+// IsMined reports whether a cause kind was produced by the miner.
+func IsMined(kind string) bool { return strings.HasSuffix(kind, MinedSuffix) }
+
 // Miner accumulates incidents and proposes codebook entries.
 type Miner struct {
 	incidents []Incident
@@ -50,6 +60,20 @@ type CandidateEntry struct {
 	Support int
 	// Incidents is the class size.
 	Incidents int
+}
+
+// Entry converts the candidate into an installable database entry. The
+// conditions reference concrete fact names (not templates), so the entry
+// is global-scoped: it is evaluated once per diagnosis and fires wherever
+// the mined symptom combination recurs — the mechanism that transfers
+// diagnosis knowledge from one fleet instance to another.
+func (c CandidateEntry) Entry() Entry {
+	return Entry{
+		Kind:       c.CauseKind,
+		Scope:      ScopeGlobal,
+		Fix:        fmt.Sprintf("mined from %d confirmed incidents; review before adopting", c.Support),
+		Conditions: c.Conditions,
+	}
 }
 
 // Render formats the candidate in the administrator-editable DSL, ready
@@ -97,7 +121,7 @@ func (m *Miner) Propose(minIncidents int) []CandidateEntry {
 		}
 		weight := 100.0 / float64(len(discriminative))
 		cand := CandidateEntry{
-			CauseKind: kind + "-mined",
+			CauseKind: kind + MinedSuffix,
 			Support:   len(class),
 			Incidents: len(class),
 		}
