@@ -60,9 +60,7 @@ func run(id experiments.ScenarioID, seed int64, screen, component string) error 
 		if len(unsat) > 0 {
 			var windows []simtime.Interval
 			for _, r := range unsat {
-				windows = append(windows, simtime.NewInterval(
-					r.Start.Add(-metrics.DefaultMonitorInterval),
-					r.Stop.Add(metrics.DefaultMonitorInterval)))
+				windows = append(windows, metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop)))
 			}
 			fmt.Println(console.APGScreen(res.APG, sc.Input.Store, unsat[0], component, windows))
 		}

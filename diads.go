@@ -148,6 +148,8 @@ type (
 	SimTime = simtime.Time
 	// SimDuration is a span of simulated time in seconds.
 	SimDuration = simtime.Duration
+	// SimInterval is a half-open span of simulated time.
+	SimInterval = simtime.Interval
 )
 
 // Scenario identifiers: the paper's five Table 1 settings plus the
@@ -227,6 +229,13 @@ func NewMonitor(cfg MonitorConfig) *Monitor { return monitor.New(cfg) }
 func NewMetricWatcher(store *metrics.Store, cfg MonitorConfig) *MetricWatcher {
 	return monitor.NewWatcher(store, cfg)
 }
+
+// ReadWindow pads an activity span by the monitoring interval on both
+// sides — the evidence-window contract every diagnosis metric read
+// honors. A SlowdownEvent carries it precomputed (ReadWindow), the
+// EventGate holds events until the streaming watermark covers it, and
+// the Service deduplicates jobs by it.
+func ReadWindow(iv SimInterval) SimInterval { return metrics.ReadWindow(iv) }
 
 // NewService returns a concurrent diagnosis service over the
 // environment. Call Start, Submit monitor events, and read ranked

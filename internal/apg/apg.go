@@ -161,16 +161,15 @@ type Annotation struct {
 
 // Annotate returns the annotations for an operator during one run: every
 // metric series of every component on the operator's inner dependency
-// path, restricted to the operator's [start, stop] window padded to the
-// monitoring interval (so coarse series contribute their nearest
-// samples).
+// path, restricted to the operator's evidence window (metrics.ReadWindow
+// — the [start, stop] span padded by the monitoring interval, so coarse
+// series contribute their nearest samples).
 func (g *APG) Annotate(store *metrics.Store, run *exec.RunRecord, opID int) []Annotation {
 	op := run.Op(opID)
 	if op == nil {
 		return nil
 	}
-	pad := metrics.DefaultMonitorInterval
-	win := simtime.NewInterval(op.Start.Add(-pad), op.Stop.Add(pad))
+	win := metrics.ReadWindow(simtime.NewInterval(op.Start, op.Stop))
 	var out []Annotation
 	for _, comp := range g.paths[opID].Inner {
 		c := string(comp)

@@ -127,14 +127,14 @@ func DBOnly(in *diag.Input) (*Report, error) {
 	return rep, nil
 }
 
-// satUnsatWindows returns padded run windows for both labels.
+// satUnsatWindows returns the runs' evidence windows (metrics.ReadWindow)
+// for both labels.
 func satUnsatWindows(in *diag.Input) (sat, unsat []simtime.Interval) {
-	pad := metrics.DefaultMonitorInterval
 	for _, r := range in.SatRuns() {
-		sat = append(sat, simtime.NewInterval(r.Start.Add(-pad), r.Stop.Add(pad)))
+		sat = append(sat, metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop)))
 	}
 	for _, r := range in.UnsatRuns() {
-		unsat = append(unsat, simtime.NewInterval(r.Start.Add(-pad), r.Stop.Add(pad)))
+		unsat = append(unsat, metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop)))
 	}
 	return sat, unsat
 }

@@ -62,8 +62,9 @@ func APGScreen(g *apg.APG, store *metrics.Store, run *exec.RunRecord, component 
 		b.WriteString("  (no metrics recorded)\n")
 		return b.String()
 	}
-	pad := metrics.DefaultMonitorInterval
-	win := simtime.NewInterval(run.Start.Add(-2*pad), run.Stop.Add(2*pad))
+	// Double evidence-window padding: the screen shows the surrounding
+	// context, one monitoring interval beyond what the diagnosis reads.
+	win := metrics.ReadWindow(metrics.ReadWindow(simtime.NewInterval(run.Start, run.Stop)))
 	fmt.Fprintf(&b, "%-12s %-32s %12s  %-6s\n", "Time", "Metric", "Value", "Unsat")
 	b.WriteString(strings.Repeat("-", 68) + "\n")
 	for _, m := range ms {

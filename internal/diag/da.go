@@ -147,14 +147,13 @@ func ProbeMetricScore(in *Input, component string, metric metrics.Metric) (float
 }
 
 // perRunMeans computes one observation per run: the mean of the metric
-// over the run's window, padded by the monitoring interval so that coarse
-// series contribute their nearest samples. Runs whose windows contain no
-// samples are skipped.
+// over the run's evidence window (metrics.ReadWindow — the run's span
+// padded by the monitoring interval, so coarse series contribute their
+// nearest samples). Runs whose windows contain no samples are skipped.
 func perRunMeans(store *metrics.Store, component string, metric metrics.Metric, runs []*exec.RunRecord) []float64 {
-	pad := metrics.DefaultMonitorInterval
 	var out []float64
 	for _, r := range runs {
-		win := simtime.NewInterval(r.Start.Add(-pad), r.Stop.Add(pad))
+		win := metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop))
 		mean, n := store.WindowMean(component, metric, win)
 		if n == 0 {
 			continue

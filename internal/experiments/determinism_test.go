@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"diads/internal/monitor"
+	"diads/internal/simtime"
+)
+
+// TestOnlineChunkSizeDeterminism pins the evidence-window contract end to
+// end: the online scenario's report must be byte-identical whether the
+// simulation streams in 1-minute chunks, 5-minute chunks, the canonical
+// 30-minute chunks, or one single batch chunk. Before the contract, a
+// released event's diagnosis could read metric windows the emission
+// watermark had not covered, so sub-4-minute chunks produced different
+// reports than batch runs.
+func TestOnlineChunkSizeDeterminism(t *testing.T) {
+	base, err := OnlineWithChunk(testSeed, 0) // batch: the whole timeline as one chunk
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Correct || base.Events == 0 {
+		t.Fatalf("batch run did not exercise the pipeline:\n%s", base.Render())
+	}
+	for _, chunk := range []simtime.Duration{
+		simtime.Minute, // shorter than the monitor-interval padding: the racy regime
+		5 * simtime.Minute,
+		30 * simtime.Minute,
+	} {
+		res, err := OnlineWithChunk(testSeed, chunk)
+		if err != nil {
+			t.Fatalf("chunk %v: %v", chunk, err)
+		}
+		if res.Render() != base.Render() {
+			t.Errorf("chunk %v report differs from batch\n--- batch ---\n%s\n--- chunk %v ---\n%s",
+				chunk, base.Render(), chunk, res.Render())
+		}
+	}
+}
+
+// TestFleetChunkSizeDeterminism is the fleet-scale version: with the
+// coordinator processing released events in evidence-time waves, the
+// grouped fleet report — including the symptom-learning counters, the
+// part of the report most sensitive to when diagnoses happen relative to
+// mined-entry installs — must be byte-identical across chunk sizes.
+func TestFleetChunkSizeDeterminism(t *testing.T) {
+	spec := FleetSpec{Seed: testSeed, Instances: 4, Degraded: 3, Runs: 12}
+	spec.Chunk = 48 * simtime.Hour // beyond the horizon: one barrier, the batch extreme
+	base, _, err := RunFleetSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must exercise the learning loop, or wave ordering goes
+	// untested: an entry mined from early instances' confirmations has to
+	// transfer to a later instance's diagnoses in every chunking.
+	if len(base.Learning.Installed) == 0 || base.Learning.Transfers == 0 {
+		t.Fatalf("sweep scenario did not exercise symptom learning:\n%s", base.Render())
+	}
+	for _, chunk := range []simtime.Duration{
+		simtime.Minute,
+		5 * simtime.Minute,
+		10 * simtime.Minute, // the fleet default
+	} {
+		spec.Chunk = chunk
+		rep, _, err := RunFleetSpec(spec)
+		if err != nil {
+			t.Fatalf("chunk %v: %v", chunk, err)
+		}
+		if rep.Render() != base.Render() {
+			t.Errorf("chunk %v fleet report differs from batch\n--- batch ---\n%s\n--- chunk %v ---\n%s",
+				chunk, base.Render(), chunk, rep.Render())
+		}
+	}
+}
+
+// TestShortChunkReleaseRespectsReadWindows reproduces the original
+// watermark/read-window race and pins its fix. With 3-minute chunks —
+// shorter than the monitor-interval padding — the old gate (which
+// compared a window ending at rec.Stop + 1min against the watermark)
+// released events whose 5-minute-padded metric read windows the emission
+// watermark had not covered yet. The new gate must never release an
+// event before the watermark reaches its ReadWindow's end, and the
+// scenario must actually exhibit at least one event the old contract
+// would have released early, or the regression test is vacuous.
+func TestShortChunkReleaseRespectsReadWindows(t *testing.T) {
+	env, err := BuildOnline(OnlineSpec{Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 3 * simtime.Minute
+	gate := &monitor.Gate{}
+	type release struct {
+		ev monitor.SlowdownEvent
+		at simtime.Time // the watermark that released it
+	}
+	var releases []release
+	err = env.Testbed.SimulateStream(chunk, func(now simtime.Time) error {
+		for {
+			select {
+			case ev := <-env.Monitor.Events():
+				gate.Add(ev)
+			default:
+				for _, ev := range gate.Release(now) {
+					releases = append(releases, release{ev: ev, at: now})
+				}
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) == 0 {
+		t.Fatal("scenario emitted no slowdown events")
+	}
+	if gate.Pending() != 0 {
+		t.Errorf("%d events never released; the final chunk's watermark should cover everything", gate.Pending())
+	}
+	raced := false
+	for _, r := range releases {
+		if r.ev.ReadWindow.End > r.at {
+			t.Errorf("event %s released at watermark %v before its read window %v closed",
+				r.ev.RunID, r.at, r.ev.ReadWindow)
+		}
+		// Where the old contract would have released this event: the first
+		// chunk boundary at or past Window.End + 1min.
+		oldEnd := float64(r.ev.Window.End.Add(simtime.Minute))
+		oldRelease := simtime.Time(math.Ceil(oldEnd/float64(chunk)) * float64(chunk))
+		if oldRelease < r.ev.ReadWindow.End {
+			raced = true
+		}
+	}
+	if !raced {
+		t.Error("no event would have raced under the old contract; the regression scenario lost its teeth")
+	}
+}

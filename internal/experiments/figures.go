@@ -154,9 +154,7 @@ func Figure6(seed int64) (*Figure6Result, error) {
 	}
 	var windows []simtime.Interval
 	for _, r := range unsat {
-		windows = append(windows, simtime.NewInterval(
-			r.Start.Add(-metrics.DefaultMonitorInterval),
-			r.Stop.Add(metrics.DefaultMonitorInterval)))
+		windows = append(windows, metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop)))
 	}
 	screen := console.APGScreen(g, sc.Testbed.Store, unsat[0], string(testbed.VolV1), windows)
 	return &Figure6Result{Screen: screen}, nil

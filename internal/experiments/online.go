@@ -40,7 +40,11 @@ type OnlineResult struct {
 	Service service.Stats
 }
 
-// Render formats the study like the paper's tables.
+// Render formats the study like the paper's tables. The output is
+// byte-deterministic per seed and independent of the streaming chunk
+// size: like fleet.Report.Render, it carries no cache counters (cache
+// hit/miss totals depend on worker interleaving and on how many events a
+// chunk boundary releases at once; read them from Service).
 func (r *OnlineResult) Render() string {
 	var b strings.Builder
 	b.WriteString("Online monitoring & concurrent diagnosis\n")
@@ -54,11 +58,12 @@ func (r *OnlineResult) Render() string {
 	fmt.Fprintf(&b, "slowdown events      %d (false positives: %d)\n", r.Events, r.FalsePositives)
 	fmt.Fprintf(&b, "metric alerts (V1)   %d\n", r.Alerts)
 	fmt.Fprintf(&b, "diagnoses            %d completed, %d failed\n", r.Service.Completed, r.Service.Failed)
-	fmt.Fprintf(&b, "apg cache            %d hits / %d lookups\n",
-		r.Service.APG.Hits, r.Service.APG.Hits+r.Service.APG.Misses)
-	fmt.Fprintf(&b, "sd cache             %d hits / %d lookups\n",
-		r.Service.SD.Hits, r.Service.SD.Hits+r.Service.SD.Misses)
 	fmt.Fprintf(&b, "top incident correct %v\n", r.Correct)
+	if len(r.Incidents) > 0 {
+		top := r.Incidents[0]
+		fmt.Fprintf(&b, "top incident         %s %s(%s) — %d events, impact %.1fs\n",
+			top.Query, top.Kind, top.Subject, top.Events, top.EstImpact())
+	}
 	return b.String()
 }
 
@@ -70,6 +75,16 @@ func (r *OnlineResult) Render() string {
 // between simulation chunks, and the final registry must rank the
 // misconfiguration on V1 as the top incident.
 func Online(seed int64) (*OnlineResult, error) {
+	return OnlineWithChunk(seed, 30*simtime.Minute)
+}
+
+// OnlineWithChunk is Online with an explicit simulation chunk — the
+// monitoring lag and event-release granularity. A chunk of 0 plays the
+// whole timeline as one batch chunk. The result's Render output is
+// byte-identical for every chunk size: the evidence-window contract
+// (metrics.ReadWindow, the gate's watermark, grid-aligned emission)
+// guarantees a diagnosis never depends on when its event was released.
+func OnlineWithChunk(seed int64, chunk simtime.Duration) (*OnlineResult, error) {
 	env, err := BuildOnline(OnlineSpec{Seed: seed})
 	if err != nil {
 		return nil, err
@@ -118,7 +133,7 @@ func Online(seed int64) (*OnlineResult, error) {
 			}
 		}
 	}
-	if err := tb.SimulateStream(30*simtime.Minute, drain); err != nil {
+	if err := tb.SimulateStream(chunk, drain); err != nil {
 		return nil, err
 	}
 	svc.Wait()

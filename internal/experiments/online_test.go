@@ -28,6 +28,8 @@ func TestOnlinePipelineEndToEnd(t *testing.T) {
 	if res.Service.Failed != 0 {
 		t.Errorf("%d diagnoses failed", res.Service.Failed)
 	}
+	// Cache effectiveness is asserted on Stats, never on Render: hit
+	// counts depend on worker interleaving and release batching.
 	if res.Service.APG.Hits == 0 {
 		t.Error("APG cache never hit despite repeated same-plan diagnoses")
 	}
@@ -46,7 +48,7 @@ func TestOnlinePipelineEndToEnd(t *testing.T) {
 	if res.Alerts == 0 {
 		t.Error("metric watcher saw no degradation on the victim volume")
 	}
-	for _, want := range []string{"first detection", "apg cache", "top incident correct true"} {
+	for _, want := range []string{"first detection", "slowdown events", "top incident correct true"} {
 		if !strings.Contains(res.Render(), want) {
 			t.Errorf("render missing %q:\n%s", want, res.Render())
 		}

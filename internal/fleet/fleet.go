@@ -6,16 +6,18 @@
 // A Fleet streams N independent testbed instances concurrently, each on
 // its own seed and timeline. Instances synchronize at chunk boundaries:
 // between barriers they simulate in parallel, and at each barrier a
-// single coordinator drains every monitor's slowdown events in instance
-// order, fans them into one shared service.Service (instance-tagged job
-// keys, per-instance diagnosis environments, instance-scoped caches),
-// waits for the worker pool to go quiescent, and runs the
-// symptom-learning step. Because every cross-instance interaction
-// happens in that deterministic coordinator — never in the concurrently
-// simulating instances — a fleet run is byte-identical per seed
-// regardless of MaxStreams or service worker count, and diagnosis never
-// races metric emission: instances are parked while their events are
-// diagnosed.
+// single coordinator drains every monitor's slowdown events, releases
+// the ones whose evidence read windows the metric watermark covers, and
+// fans them into one shared service.Service (instance-tagged job keys,
+// per-instance diagnosis environments, instance-scoped caches) in
+// evidence-time waves — sorted by read-window end, with the worker pool
+// settled and the symptom-learning step run between waves. Because every
+// cross-instance interaction happens in that deterministic coordinator —
+// never in the concurrently simulating instances — and because the wave
+// order depends only on the event stream, a fleet run is byte-identical
+// per seed regardless of MaxStreams, service worker count, or simulation
+// chunk size, and diagnosis never races metric emission: instances are
+// parked while their events are diagnosed.
 //
 // The fold back up is the fleet incident view: registry incidents whose
 // subject is shared SAN infrastructure group across the instances
@@ -29,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"diads/internal/monitor"
@@ -289,26 +292,26 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 			watermark[msg.idx] = msg.now
 			arrived++
 		}
-		// Every instance is now parked (or finished): drain and submit
-		// in instance order, settle the worker pool, then learn. Nothing
-		// simulates while diagnoses read the metric stores.
+		// Every instance is now parked (or finished): drain the gates,
+		// then diagnose the released events in evidence-time waves.
+		// Nothing simulates while diagnoses read the metric stores.
 		if firstErr == nil {
+			var released []monitor.SlowdownEvent
 			for i, st := range f.instances {
 				w := watermark[i]
 				if justDone[i] {
+					// A finished instance's metrics are fully emitted
+					// (including the partial tail), so everything still
+					// gated can release.
 					w = simtime.Time(math.MaxFloat64)
 				} else if !atBarrier[i] {
 					continue
 				}
-				if err := f.drain(st, w); err != nil {
-					fail(err)
-					break
-				}
+				released = append(released, f.collect(st, w)...)
 			}
-		}
-		if firstErr == nil {
-			f.svc.Wait()
-			f.learnStep()
+			if err := f.submitWaves(released); err != nil {
+				fail(err)
+			}
 		}
 		for i, st := range f.instances {
 			if atBarrier[i] {
@@ -334,10 +337,10 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 	return f.report(), nil
 }
 
-// drain moves an instance's detected slowdowns into the shared service:
-// monitor events are tagged with the instance and gated until the
-// instance's metric watermark covers their evidence window.
-func (f *Fleet) drain(st *instanceState, w simtime.Time) error {
+// collect moves an instance's detected slowdowns into its gate (tagging
+// them with the instance ID) and returns the events whose evidence read
+// windows the instance's metric watermark covers.
+func (f *Fleet) collect(st *instanceState, w simtime.Time) []monitor.SlowdownEvent {
 	for {
 		select {
 		case ev := <-st.Monitor.Events():
@@ -353,15 +356,47 @@ func (f *Fleet) drain(st *instanceState, w simtime.Time) error {
 		}
 		break
 	}
-	for _, ev := range st.gate.Release(w) {
-		switch err := f.svc.Submit(ev); err {
-		case nil, service.ErrDuplicate:
-		case service.ErrBackpressure:
-			// Shed events are counted in Stats.Rejected; the fleet's
-			// default queue is sized so this never happens.
-		default:
-			return err
+	return st.gate.Release(w)
+}
+
+// submitWaves diagnoses released events in evidence-time waves: sorted by
+// the end of their read windows, events sharing an end diagnose
+// concurrently, then the coordinator settles the worker pool and runs the
+// learning step before the next wave. Ordering by evidence time — never
+// by barrier arrival — is what makes the whole fleet run chunk-size
+// invariant: the interleaving of diagnoses and symptom-learning installs
+// is a function of the event stream alone, so a 1-minute-chunk run and a
+// single-chunk batch run produce byte-identical reports. (A coarser
+// chunking merely hands the coordinator several waves at one barrier; the
+// wave sequence itself does not move.)
+func (f *Fleet) submitWaves(released []monitor.SlowdownEvent) error {
+	sort.SliceStable(released, func(i, j int) bool {
+		if released[i].ReadWindow.End != released[j].ReadWindow.End {
+			return released[i].ReadWindow.End < released[j].ReadWindow.End
 		}
+		if released[i].Instance != released[j].Instance {
+			return released[i].Instance < released[j].Instance
+		}
+		return released[i].RunID < released[j].RunID
+	})
+	for i := 0; i < len(released); {
+		j := i
+		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {
+			j++
+		}
+		for _, ev := range released[i:j] {
+			switch err := f.svc.Submit(ev); err {
+			case nil, service.ErrDuplicate:
+			case service.ErrBackpressure:
+				// Shed events are counted in Stats.Rejected; the fleet's
+				// default queue is sized so this never happens.
+			default:
+				return err
+			}
+		}
+		f.svc.Wait()
+		f.learnStep()
+		i = j
 	}
 	return nil
 }

@@ -76,11 +76,11 @@ func newLearnState() learnState {
 	}
 }
 
-// learnStep runs at each barrier while the service is quiescent: feed
-// newly-confirmed incidents to the miner, then install newly-proposed
-// candidates into the shared database. Installation bumps the database
-// version, which invalidates cached symptoms evaluations, so the entry
-// takes effect on the very next diagnosis.
+// learnStep runs between evidence-time waves while the service is
+// quiescent: feed newly-confirmed incidents to the miner, then install
+// newly-proposed candidates into the shared database. Installation bumps
+// the database version, which invalidates cached symptoms evaluations,
+// so the entry takes effect on the very next wave's diagnoses.
 func (f *Fleet) learnStep() {
 	if f.cfg.Learn.Disabled {
 		return

@@ -106,9 +106,33 @@ func TestStoreKeysDeterministic(t *testing.T) {
 	}
 }
 
+func TestReadWindowPadding(t *testing.T) {
+	iv := simtime.NewInterval(1000, 1600)
+	rw := ReadWindow(iv)
+	if rw.Start != iv.Start.Add(-DefaultMonitorInterval) || rw.End != iv.End.Add(DefaultMonitorInterval) {
+		t.Fatalf("ReadWindow(%v) = %v, want one monitoring interval of padding each side", iv, rw)
+	}
+	if rw.Length() != iv.Length()+2*DefaultMonitorInterval {
+		t.Fatalf("length %v, want %v", rw.Length(), iv.Length()+2*DefaultMonitorInterval)
+	}
+	// A zero-length activity window still reads a full two-interval
+	// evidence window around its instant.
+	z := ReadWindow(simtime.NewInterval(500, 500))
+	if z.Length() != 2*DefaultMonitorInterval {
+		t.Fatalf("zero-length window read %v, want %v", z.Length(), 2*DefaultMonitorInterval)
+	}
+	if !z.Contains(500) {
+		t.Fatalf("read window %v should contain its activity instant", z)
+	}
+	// Padding composes: the console's context view is two applications.
+	if got := ReadWindow(rw); got.Length() != iv.Length()+4*DefaultMonitorInterval {
+		t.Fatalf("double padding length %v", got.Length())
+	}
+}
+
 func TestSamplerAveragesConstant(t *testing.T) {
 	s := NewStore()
-	sp := NewSampler(0, nil)
+	sp := NewSampler(0, 0)
 	iv := simtime.NewInterval(0, simtime.Time(30*simtime.Minute))
 	sp.Record(s, "vol", VolWriteIO, iv, func(simtime.Time) float64 { return 42 })
 	ser := s.Series("vol", VolWriteIO)
@@ -127,7 +151,7 @@ func TestSamplerAveragesOutBursts(t *testing.T) {
 	// must be smeared to roughly 10 + 100*(30/300) = 19: the paper's "noisy
 	// data" effect where instantaneous spikes get averaged out.
 	s := NewStore()
-	sp := NewSampler(0, nil)
+	sp := NewSampler(0, 0)
 	iv := simtime.NewInterval(0, simtime.Time(5*simtime.Minute))
 	fn := func(t simtime.Time) float64 {
 		if t >= 60 && t < 90 {
@@ -148,7 +172,7 @@ func TestSamplerAveragesOutBursts(t *testing.T) {
 func TestSamplerNoiseIsDeterministic(t *testing.T) {
 	run := func() []Sample {
 		s := NewStore()
-		sp := NewSampler(0.1, simtime.NewRand(5, "sampler"))
+		sp := NewSampler(0.1, 5)
 		iv := simtime.NewInterval(0, simtime.Time(time30()))
 		sp.Record(s, "v", VolReadTime, iv, func(simtime.Time) float64 { return 5 })
 		return s.Series("v", VolReadTime)
@@ -171,11 +195,50 @@ func TestSamplerNoiseIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestSamplerNoiseIsOrderAndChunkInvariant pins the two properties the
+// chunk-size determinism of the online pipeline rests on: a series'
+// noise stream depends only on (seed, component, metric) and its own
+// sample count, so (i) emitting series in a different order and (ii)
+// splitting the emission window into grid-aligned chunks both produce
+// byte-identical samples.
+func TestSamplerNoiseIsOrderAndChunkInvariant(t *testing.T) {
+	fn := func(simtime.Time) float64 { return 5 }
+	end := simtime.Time(17 * simtime.Minute) // 3 full intervals + a partial tail
+
+	// One batch emission, series A before B.
+	batch := NewStore()
+	sp := NewSampler(0.1, 9)
+	sp.Record(batch, "a", VolReadTime, simtime.NewInterval(0, end), fn)
+	sp.Record(batch, "b", VolReadTime, simtime.NewInterval(0, end), fn)
+
+	// Chunked emission on the monitoring grid, series B before A.
+	chunked := NewStore()
+	sp2 := NewSampler(0.1, 9)
+	cuts := []simtime.Time{0, simtime.Time(5 * simtime.Minute), simtime.Time(15 * simtime.Minute), end}
+	for i := 0; i+1 < len(cuts); i++ {
+		iv := simtime.NewInterval(cuts[i], cuts[i+1])
+		sp2.Record(chunked, "b", VolReadTime, iv, fn)
+		sp2.Record(chunked, "a", VolReadTime, iv, fn)
+	}
+
+	for _, c := range []string{"a", "b"} {
+		got, want := chunked.Series(c, VolReadTime), batch.Series(c, VolReadTime)
+		if len(got) != 4 || len(got) != len(want) {
+			t.Fatalf("series %s: %d chunked vs %d batch samples", c, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("series %s sample %d: chunked %+v != batch %+v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func time30() simtime.Duration { return 30 * simtime.Minute }
 
 func TestSamplerPartialTrailingInterval(t *testing.T) {
 	s := NewStore()
-	sp := NewSampler(0, nil)
+	sp := NewSampler(0, 0)
 	// 7 minutes of data with 5-minute intervals: one full + one partial.
 	iv := simtime.NewInterval(0, simtime.Time(7*simtime.Minute))
 	sp.Record(s, "v", VolReadIO, iv, func(simtime.Time) float64 { return 3 })

@@ -9,6 +9,21 @@ import (
 // spikes and produces noisy data.
 const DefaultMonitorInterval = 5 * simtime.Minute
 
+// ReadWindow pads an activity window (a run's or operator's [start, stop]
+// span, or a slowdown event's run-history span) by the monitoring
+// interval on both sides. It is the single definition of the evidence
+// window the diagnosis layers read: coarse series contribute their
+// nearest samples, and the monitor's Gate holds an event until the
+// emission watermark covers the padded window, so a diagnosis never
+// races metric emission. Every window-padded metric read in the
+// codebase must go through this function — a second copy of the padding
+// arithmetic is how the watermark and the read window drift apart.
+func ReadWindow(iv simtime.Interval) simtime.Interval {
+	return simtime.NewInterval(
+		iv.Start.Add(-DefaultMonitorInterval),
+		iv.End.Add(DefaultMonitorInterval))
+}
+
 // TrueValueFunc reports the instantaneous "ground truth" value of a metric
 // at simulated time t. The sampler integrates it over each monitoring
 // interval; diagnosis code only ever sees the resulting averages.
@@ -16,8 +31,19 @@ type TrueValueFunc func(t simtime.Time) float64
 
 // Sampler converts instantaneous component behaviour into the coarse,
 // noisy series a production monitoring tool records.
+//
+// Measurement noise is drawn from a per-series random stream derived
+// from (Seed, component, metric), never from one shared stream: a
+// series' noise then depends only on its own sample count, so emitting
+// the timeline in chunks of any size — or adding new series — produces
+// byte-identical samples to a single batch emission. Samplers are not
+// safe for concurrent use.
 type Sampler struct {
-	// Interval is the monitoring interval (default 5 minutes).
+	// Interval is the monitoring interval (default 5 minutes). The
+	// evidence-window contract (ReadWindow) pads reads by
+	// DefaultMonitorInterval regardless of this setting, so an interval
+	// coarser than the default leaves run windows without samples —
+	// keep overrides at or below DefaultMonitorInterval.
 	Interval simtime.Duration
 	// SubStep is the integration step used to average the true value
 	// across an interval.
@@ -25,24 +51,53 @@ type Sampler struct {
 	// NoiseSigma is the log-normal measurement-noise sigma applied to each
 	// recorded sample (0 disables noise).
 	NoiseSigma float64
-	// Rand supplies measurement noise; it must be non-nil if NoiseSigma > 0.
-	Rand *simtime.Rand
+	// Seed derives the per-series noise streams.
+	Seed int64
+
+	rands map[SeriesKey]*simtime.Rand
 }
 
 // NewSampler returns a sampler with the production defaults: 5-minute
 // intervals, 15-second integration steps, and the given noise level.
-func NewSampler(noiseSigma float64, rnd *simtime.Rand) *Sampler {
+// The seed derives the per-series measurement-noise streams.
+func NewSampler(noiseSigma float64, seed int64) *Sampler {
 	return &Sampler{
 		Interval:   DefaultMonitorInterval,
 		SubStep:    15 * simtime.Second,
 		NoiseSigma: noiseSigma,
-		Rand:       rnd,
+		Seed:       seed,
 	}
+}
+
+// rand returns the noise stream for one series, creating it on first use.
+func (sp *Sampler) rand(component string, metric Metric) *simtime.Rand {
+	k := SeriesKey{Component: component, Metric: metric}
+	if r, ok := sp.rands[k]; ok {
+		return r
+	}
+	if sp.rands == nil {
+		sp.rands = make(map[SeriesKey]*simtime.Rand)
+	}
+	r := simtime.NewRand(sp.Seed, "sampler/"+k.String())
+	sp.rands[k] = r
+	return r
+}
+
+// jitter applies one series' measurement noise to a sample value.
+func (sp *Sampler) jitter(component string, metric Metric, v float64) float64 {
+	if sp.NoiseSigma <= 0 {
+		return v
+	}
+	return sp.rand(component, metric).Jitter(v, sp.NoiseSigma)
 }
 
 // Record samples fn over [iv.Start, iv.End) and appends one sample per
 // monitoring interval to store under (component, metric). Sample timestamps
-// are the interval end points, matching how monitoring agents report.
+// are the interval end points, matching how monitoring agents report. The
+// sampling grid is anchored at iv.Start: callers emitting a timeline in
+// chunks must pass windows starting on multiples of Interval (the
+// testbed's emission watermark guarantees it), so chunked and batch
+// emission produce identical sample sets.
 func (sp *Sampler) Record(store *Store, component string, metric Metric, iv simtime.Interval, fn TrueValueFunc) {
 	step := sp.Interval
 	if step <= 0 {
@@ -58,10 +113,7 @@ func (sp *Sampler) Record(store *Store, component string, metric Metric, iv simt
 			end = iv.End
 		}
 		avg := integrateMean(fn, start, end, sub)
-		if sp.NoiseSigma > 0 && sp.Rand != nil {
-			avg = sp.Rand.Jitter(avg, sp.NoiseSigma)
-		}
-		store.MustAppend(component, metric, Sample{T: end, V: avg})
+		store.MustAppend(component, metric, Sample{T: end, V: sp.jitter(component, metric, avg)})
 	}
 }
 
@@ -73,7 +125,8 @@ type WindowMeanFunc func(iv simtime.Interval) float64
 // RecordWindowMean appends one sample per monitoring interval using exact
 // window means instead of numeric integration. This matches how counters
 // behave in real monitoring agents: a 3-second I/O burst still moves the
-// interval's average by its exact share.
+// interval's average by its exact share. The grid-alignment requirement
+// of Record applies here too.
 func (sp *Sampler) RecordWindowMean(store *Store, component string, metric Metric, iv simtime.Interval, fn WindowMeanFunc) {
 	step := sp.Interval
 	if step <= 0 {
@@ -85,10 +138,7 @@ func (sp *Sampler) RecordWindowMean(store *Store, component string, metric Metri
 			end = iv.End
 		}
 		avg := fn(simtime.NewInterval(start, end))
-		if sp.NoiseSigma > 0 && sp.Rand != nil {
-			avg = sp.Rand.Jitter(avg, sp.NoiseSigma)
-		}
-		store.MustAppend(component, metric, Sample{T: end, V: avg})
+		store.MustAppend(component, metric, Sample{T: end, V: sp.jitter(component, metric, avg)})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"diads/internal/exec"
+	"diads/internal/metrics"
 	"diads/internal/simtime"
 )
 
@@ -50,9 +51,16 @@ type SlowdownEvent struct {
 	Duration, Baseline, Sigma simtime.Duration
 	// Factor is Duration / Baseline.
 	Factor float64
-	// Window spans the snapshot's runs; the diagnosis reads monitoring
-	// data over it.
+	// Window spans the snapshot's runs: from the earliest remembered
+	// run's start to the offending run's stop.
 	Window simtime.Interval
+	// ReadWindow is the evidence window of the event — Window padded by
+	// the monitoring interval on both sides (metrics.ReadWindow). It is
+	// the single contract tying detection to diagnosis: every metric
+	// read a diagnosis of this event performs lies inside it, the Gate
+	// holds the event until the emission watermark covers its end, and
+	// the diagnosis service deduplicates jobs by it.
+	ReadWindow simtime.Interval
 	// Runs is the history snapshot (baseline runs plus recent anomalous
 	// ones, in time order) and Satisfactory its labels.
 	Runs         []*exec.RunRecord
@@ -251,22 +259,31 @@ type Gate struct {
 	pending []SlowdownEvent
 }
 
-// Add defers an event until its window is fully covered.
+// Add defers an event until its read window is fully covered.
 func (g *Gate) Add(ev SlowdownEvent) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.pending = append(g.pending, ev)
 }
 
-// Release returns, in arrival order, every deferred event whose window
-// ends at or before the watermark.
+// Release returns, in arrival order, every deferred event whose
+// ReadWindow ends at or before the watermark — the emission watermark's
+// evidence-window contract: a released event's diagnosis reads metrics
+// only inside its ReadWindow, so its result can never depend on samples
+// a later chunk emits.
+//
+// The boundary is inclusive: an event whose ReadWindow ends exactly at
+// the watermark is released. That is sound because the watermark
+// guarantees every sample with timestamp <= watermark has been emitted,
+// while read windows are half-open — a window ending at the watermark
+// reads only samples strictly before it.
 func (g *Gate) Release(watermark simtime.Time) []SlowdownEvent {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var ready []SlowdownEvent
 	kept := g.pending[:0]
 	for _, ev := range g.pending {
-		if ev.Window.End <= watermark {
+		if ev.ReadWindow.End <= watermark {
 			ready = append(ready, ev)
 		} else {
 			kept = append(kept, ev)
@@ -300,6 +317,7 @@ func (m *Monitor) buildEvent(rec *exec.RunRecord, st *queryState, kind EventKind
 	if mean > 0 {
 		factor = dur / mean
 	}
+	window := simtime.NewInterval(winStart, rec.Stop)
 	return SlowdownEvent{
 		Query:        rec.Query,
 		RunID:        rec.RunID,
@@ -309,7 +327,8 @@ func (m *Monitor) buildEvent(rec *exec.RunRecord, st *queryState, kind EventKind
 		Baseline:     simtime.Duration(mean),
 		Sigma:        simtime.Duration(sigma),
 		Factor:       factor,
-		Window:       simtime.NewInterval(winStart, rec.Stop.Add(simtime.Minute)),
+		Window:       window,
+		ReadWindow:   metrics.ReadWindow(window),
 		Runs:         runs,
 		Satisfactory: labels,
 	}

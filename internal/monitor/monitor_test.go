@@ -98,12 +98,16 @@ func TestEventSnapshotIsDiagnosable(t *testing.T) {
 	if len(evs) == 0 {
 		t.Fatal("no events")
 	}
+	for _, ev := range evs {
+		for _, r := range ev.Runs {
+			if !ev.Window.Contains(r.Start) {
+				t.Errorf("run %s starts outside the event window %v", r.RunID, ev.Window)
+			}
+		}
+	}
 	ev := evs[len(evs)-1]
 	var sat, unsat int
 	for _, r := range ev.Runs {
-		if !ev.Window.Contains(r.Start) {
-			t.Errorf("run %s starts outside the event window %v", r.RunID, ev.Window)
-		}
 		if ev.Satisfactory[r.RunID] {
 			sat++
 		} else {
@@ -116,6 +120,40 @@ func TestEventSnapshotIsDiagnosable(t *testing.T) {
 	}
 	if ev.Satisfactory[ev.RunID] {
 		t.Errorf("the offending run %s is labeled satisfactory", ev.RunID)
+	}
+}
+
+// TestEventCarriesEvidenceReadWindow pins the evidence-window contract on
+// the event itself: the window spans the snapshot's runs and ends at the
+// offending run's stop, the read window is exactly metrics.ReadWindow of
+// it, and every run's own padded read window — what Module DA and the
+// silo baselines actually query — lies inside the event's, which is the
+// containment that makes gating on ReadWindow.End sufficient.
+func TestEventCarriesEvidenceReadWindow(t *testing.T) {
+	m := New(Config{})
+	feed(m, "Q2", 12, func(i int) simtime.Duration {
+		if i < 10 {
+			return 60
+		}
+		return 120
+	})
+	evs := drain(m)
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range evs {
+		if ev.Window.End != ev.At {
+			t.Errorf("window %v should end at the offending run's stop %v", ev.Window, ev.At)
+		}
+		if ev.ReadWindow != metrics.ReadWindow(ev.Window) {
+			t.Errorf("read window %v is not metrics.ReadWindow(%v)", ev.ReadWindow, ev.Window)
+		}
+		for _, r := range ev.Runs {
+			rw := metrics.ReadWindow(simtime.NewInterval(r.Start, r.Stop))
+			if rw.Start < ev.ReadWindow.Start || rw.End > ev.ReadWindow.End {
+				t.Errorf("run %s read window %v escapes the event's %v", r.RunID, rw, ev.ReadWindow)
+			}
+		}
 	}
 }
 
@@ -180,7 +218,7 @@ func TestDroppedEventsAreCounted(t *testing.T) {
 func TestGateReleasesOnlyCoveredWindows(t *testing.T) {
 	g := &Gate{}
 	mk := func(id string, end simtime.Time) SlowdownEvent {
-		return SlowdownEvent{RunID: id, Window: simtime.NewInterval(0, end)}
+		return SlowdownEvent{RunID: id, ReadWindow: simtime.NewInterval(0, end)}
 	}
 	g.Add(mk("a", 100))
 	g.Add(mk("b", 250))
@@ -201,6 +239,30 @@ func TestGateReleasesOnlyCoveredWindows(t *testing.T) {
 	}
 	if got := g.Release(1000); len(got) != 0 {
 		t.Fatalf("empty gate released %v", got)
+	}
+}
+
+// TestGateReleaseBoundaryInclusive pins Release's boundary rule: an
+// event whose read window ends exactly at the watermark is released
+// (sound because the watermark covers every sample with timestamp <= it,
+// and read windows are half-open, so such an event reads only samples
+// strictly before the watermark); one ending any later is held.
+func TestGateReleaseBoundaryInclusive(t *testing.T) {
+	g := &Gate{}
+	g.Add(SlowdownEvent{RunID: "edge", ReadWindow: simtime.NewInterval(0, 300)})
+	if got := g.Release(299); len(got) != 0 {
+		t.Fatalf("released %d events below the window end", len(got))
+	}
+	got := g.Release(300)
+	if len(got) != 1 || got[0].RunID != "edge" {
+		t.Fatalf("watermark == ReadWindow.End must release the event, got %v", got)
+	}
+	g.Add(SlowdownEvent{RunID: "late", ReadWindow: simtime.NewInterval(0, simtime.Time(300).Add(simtime.Duration(1e-6)))})
+	if got := g.Release(300); len(got) != 0 {
+		t.Fatalf("a window ending past the watermark must be held, got %v", got)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", g.Pending())
 	}
 }
 

@@ -1,6 +1,8 @@
 package sanperf
 
 import (
+	"sort"
+
 	"diads/internal/metrics"
 	"diads/internal/simtime"
 	"diads/internal/topology"
@@ -146,8 +148,13 @@ func (m *Model) EmitNetworkMetrics(store *metrics.Store, sp *metrics.Sampler, iv
 			}
 		}
 	}
-	for port, vols := range perPort {
-		port, vols := port, vols
+	ports := make([]topology.ID, 0, len(perPort))
+	for port := range perPort {
+		ports = append(ports, port)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, port := range ports {
+		port, vols := port, perPort[port]
 		comp := string(port)
 		traffic := func(w simtime.Interval) float64 {
 			var kb float64

@@ -207,7 +207,7 @@ func TestEmitMetricsProducesSeries(t *testing.T) {
 	iv := simtime.NewInterval(0, simtime.Time(time30min()))
 	m.AddLoad(Load{Volume: "vol-V1", Iv: iv, ReadIOPS: 100, WriteIOPS: 40, Source: "q"})
 	store := metrics.NewStore()
-	sp := metrics.NewSampler(0, nil)
+	sp := metrics.NewSampler(0, 0)
 	m.EmitMetrics(store, sp, iv)
 
 	rio := store.Series("vol-V1", metrics.VolReadIO)

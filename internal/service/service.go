@@ -24,6 +24,7 @@ import (
 	"diads/internal/monitor"
 	"diads/internal/opt"
 	"diads/internal/pipeline"
+	"diads/internal/simtime"
 	"diads/internal/symptoms"
 	"diads/internal/topology"
 )
@@ -92,11 +93,13 @@ func (c Config) withDefaults() Config {
 }
 
 // jobKey identifies a diagnosis job for deduplication: same instance,
-// same query, same evidence window.
+// same query, same evidence read window. The window bounds are kept as
+// simtime values, not converted to a different numeric type — dedup
+// identity must be exactly the event's window, never an alias of it.
 type jobKey struct {
-	instance   string
-	query      string
-	start, end float64 // simtime seconds of the event window
+	instance string
+	query    string
+	window   simtime.Interval // the event's evidence read window
 }
 
 type job struct {
@@ -277,10 +280,7 @@ func (s *Service) Wait() {
 // recurrence when a cached result exists).
 func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	s.submitted.Add(1)
-	key := jobKey{
-		instance: ev.Instance, query: ev.Query,
-		start: float64(ev.Window.Start), end: float64(ev.Window.End),
-	}
+	key := jobKey{instance: ev.Instance, query: ev.Query, window: ev.ReadWindow}
 
 	s.mu.Lock()
 	if s.stopped {

@@ -138,7 +138,7 @@ func TestSubmitDeduplicatesAndExertsBackpressure(t *testing.T) {
 		t.Errorf("duplicate submit = %v, want ErrDuplicate", err)
 	}
 	other := ev
-	other.Window = simtime.NewInterval(ev.Window.Start, ev.Window.End.Add(simtime.Minute))
+	other.ReadWindow = simtime.NewInterval(ev.ReadWindow.Start, ev.ReadWindow.End.Add(simtime.Minute))
 	if err := svc.Submit(other); err != ErrBackpressure {
 		t.Errorf("overflow submit = %v, want ErrBackpressure", err)
 	}
@@ -166,6 +166,34 @@ func TestSubmitDeduplicatesAndExertsBackpressure(t *testing.T) {
 	}
 	if incs[0].Events != 2 {
 		t.Errorf("events = %d, want 2 (diagnosis + cached recurrence)", incs[0].Events)
+	}
+}
+
+// TestSubmitDedupKeyUsesExactWindowBounds pins the dedup key to the
+// event's exact simtime read-window bounds (regression for the key
+// converting bounds to a separate float64 representation): events whose
+// read windows differ by any amount — even sub-second — are distinct
+// jobs, and only a bit-for-bit identical window dedups.
+func TestSubmitDedupKeyUsesExactWindowBounds(t *testing.T) {
+	env, evs := slowdownRig(t, 47)
+	ev := evs[0]
+
+	// No workers started: jobs stay queued, so dedup is observable
+	// deterministically.
+	svc := New(env, Config{Workers: 1, Queue: 8})
+	if err := svc.Submit(ev); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	shifted := ev
+	shifted.ReadWindow.End = shifted.ReadWindow.End.Add(simtime.Duration(1e-3))
+	if err := svc.Submit(shifted); err != nil {
+		t.Fatalf("a sub-second window shift must be a distinct job, got %v", err)
+	}
+	if err := svc.Submit(shifted); err != ErrDuplicate {
+		t.Errorf("bit-identical window must dedup, got %v", err)
+	}
+	if st := svc.Stats(); st.Submitted != 3 || st.Deduped != 1 {
+		t.Errorf("submitted=%d deduped=%d, want 3/1", st.Submitted, st.Deduped)
 	}
 }
 
@@ -205,8 +233,8 @@ func TestSubmitStopRaceDoesNotPanic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i, ev := range evs {
-				ev.Window.End = ev.Window.End.Add(simtime.Duration(i)) // distinct keys
-				_ = svc.Submit(ev)                                     // must never panic on closed channel
+				ev.ReadWindow.End = ev.ReadWindow.End.Add(simtime.Duration(i)) // distinct keys
+				_ = svc.Submit(ev)                                             // must never panic on closed channel
 			}
 		}()
 		svc.Stop()

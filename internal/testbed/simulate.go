@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"diads/internal/exec"
@@ -13,8 +14,13 @@ import (
 // cpuPerRun is the CPU utilization a running query adds on the DB server.
 const cpuPerRun = 0.25
 
-// horizonMargin pads the monitoring horizon past the last activity.
-const horizonMargin = 10 * simtime.Minute
+// horizonMargin pads the monitoring horizon past the last activity. It
+// is expressed in terms of the evidence-window padding and must stay
+// strictly larger than one metrics.DefaultMonitorInterval: the final
+// chunk's watermark is the horizon end, and an event for the very last
+// run (read window ending rec.Stop + one interval) must still release
+// from the gate — drivers have no separate end-of-stream flush.
+const horizonMargin = 2 * metrics.DefaultMonitorInterval
 
 // timelineEvent is one chronological step of the simulation.
 type timelineEvent struct {
@@ -41,6 +47,18 @@ func (tb *Testbed) Simulate() error {
 // themselves stream through exec.Engine.OnRunComplete the moment they
 // finish. A chunk of 0 plays the whole timeline as one chunk. Like
 // Simulate, it may only be called once per testbed.
+//
+// Emission is aligned to the monitoring-interval grid and holds back
+// incomplete intervals: each chunk emits only the monitoring intervals
+// that have fully elapsed, and the trailing partial interval flushes
+// with the final chunk. Two guarantees follow. First, the boundary time
+// onChunk receives is a metric watermark — every sample with a
+// timestamp at or before it has been emitted, and no future chunk can
+// append one at or before it — which is what lets drivers pass it
+// straight to monitor.Gate.Release. Second, the emitted sample set (and,
+// with the sampler's per-series noise streams, every sample value) is
+// byte-identical whatever the chunk size, including the single-chunk
+// batch run, so diagnosis results cannot depend on chunking.
 func (tb *Testbed) SimulateStream(chunk simtime.Duration, onChunk func(now simtime.Time) error) error {
 	if tb.simulated {
 		return fmt.Errorf("testbed: already simulated")
@@ -90,8 +108,16 @@ func (tb *Testbed) SimulateStream(chunk simtime.Duration, onChunk func(now simti
 				stop, done = end, true
 			}
 		}
-		tb.emitMetrics(simtime.NewInterval(emitted, stop))
-		emitted = stop
+		// Emit only fully-elapsed monitoring intervals; the final chunk
+		// flushes the partial tail so the store matches a batch run's.
+		cover := stop
+		if !done {
+			cover = tb.monitorGrid(stop)
+		}
+		if cover > emitted {
+			tb.emitMetrics(simtime.NewInterval(emitted, cover))
+			emitted = cover
+		}
 		if onChunk != nil {
 			if err := onChunk(stop); err != nil {
 				return err
@@ -161,6 +187,17 @@ func (tb *Testbed) timeline() []timelineEvent {
 		return events[i].prio < events[j].prio
 	})
 	return events
+}
+
+// monitorGrid floors t to the monitoring-interval grid (multiples of the
+// sampler's interval from the simulation epoch): the point through which
+// complete intervals can be emitted at a chunk boundary.
+func (tb *Testbed) monitorGrid(t simtime.Time) simtime.Time {
+	step := tb.Sampler.Interval
+	if step <= 0 {
+		step = metrics.DefaultMonitorInterval
+	}
+	return simtime.Time(math.Floor(float64(t)/float64(step)) * float64(step))
 }
 
 // activityEnd returns the monitoring horizon end: the last activity

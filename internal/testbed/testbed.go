@@ -181,7 +181,7 @@ func NewFigure1(conf Config) (*Testbed, error) {
 		CPULoad: cpu,
 		Opt:     opt.New(cat),
 		Store:   metrics.NewStore(),
-		Sampler: metrics.NewSampler(conf.MonitorNoise, simtime.NewRand(conf.Seed, "sampler")),
+		Sampler: metrics.NewSampler(conf.MonitorNoise, conf.Seed),
 		Stats:   stats,
 		dbAct:   sanperf.NewTimeline(),
 	}
