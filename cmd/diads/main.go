@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|timing|report|all]
+// -symdb FILE extends the built-in symptoms database with entries from
+// an administrator-authored DSL file — including entries learned and
+// persisted by diadsd's fleet learning loop, closing the loop from
+// online learning back to the offline console.
+//
+//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|timing|report|all] [-symdb FILE]
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"diads/internal/experiments"
 	"diads/internal/metrics"
 	"diads/internal/simtime"
+	"diads/internal/symptoms"
 	"diads/internal/testbed"
 )
 
@@ -26,18 +32,37 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|timing|report|all")
 	component := flag.String("component", string(testbed.VolV1), "component for the APG metric panel")
+	symdb := flag.String("symdb", "", "DSL file with extra symptom entries (e.g. learned by diadsd) added to the built-in database")
 	flag.Parse()
 
-	if err := run(experiments.ScenarioID(*scenario), *seed, *screen, *component); err != nil {
+	if err := run(experiments.ScenarioID(*scenario), *seed, *screen, *component, *symdb); err != nil {
 		fmt.Fprintln(os.Stderr, "diads:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id experiments.ScenarioID, seed int64, screen, component string) error {
+func run(id experiments.ScenarioID, seed int64, screen, component, symdbPath string) error {
 	sc, err := experiments.Build(id, seed)
 	if err != nil {
 		return err
+	}
+	if symdbPath != "" {
+		data, err := os.ReadFile(symdbPath)
+		if err != nil {
+			return err
+		}
+		extra, err := symptoms.Parse(string(data))
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", symdbPath, err)
+		}
+		db := symptoms.Builtin()
+		for _, e := range extra.Entries() {
+			if err := db.Add(e); err != nil {
+				return fmt.Errorf("entry %s from %s: %w", e.Kind, symdbPath, err)
+			}
+		}
+		sc.Input.SymDB = db
+		fmt.Printf("symptoms database extended with %d entries from %s\n", len(extra.Entries()), symdbPath)
 	}
 	fmt.Printf("scenario %d: %s\n%s\n\n", sc.ID, sc.Title, sc.Description)
 

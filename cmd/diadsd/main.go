@@ -11,10 +11,21 @@
 // prints the grouped fleet incident view with its per-instance breakdown
 // and the cross-instance symptom-learning summary.
 //
+// Mined-candidate review and persistence (fleet mode): by default
+// candidates that pass healthy-corpus validation install automatically.
+// -review holds them for an operator instead — validated candidates are
+// printed in the admin DSL for a human to adopt — and -ack KIND[,KIND]
+// plays the operator, accepting exactly the listed mined kinds.
+// -learned FILE loads previously-learned entries (the DSL written by an
+// earlier run) into the shared database before streaming and writes the
+// union of old and newly-installed entries back afterwards, so learned
+// knowledge persists across daemon runs.
+//
 // Usage:
 //
 //	diadsd [-seed S] [-workers N] [-chunk MIN] [-report-every N] [-runs N] [-quiet]
 //	diadsd -instances N [-degraded M] [-seed S] [-workers N] [-chunk MIN] [-runs N]
+//	       [-review] [-ack KIND,KIND] [-learned FILE]
 package main
 
 import (
@@ -22,9 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"diads/internal/console"
 	"diads/internal/experiments"
+	"diads/internal/fleet"
 	"diads/internal/metrics"
 	"diads/internal/monitor"
 	"diads/internal/service"
@@ -41,6 +54,9 @@ func main() {
 	runs := flag.Int("runs", 16, "Q2 runs to schedule (other queries scale along)")
 	instances := flag.Int("instances", 1, "fleet size; above 1 streams a multi-instance fleet")
 	degraded := flag.Int("degraded", 0, "instances on the misconfigured shared pool (default 3/4 of the fleet)")
+	review := flag.Bool("review", false, "hold validated candidates for operator review instead of auto-accepting")
+	ack := flag.String("ack", "", "comma-separated mined kinds the operator accepts (implies -review)")
+	learned := flag.String("learned", "", "DSL file to load learned symptom entries from and persist installed ones to")
 	quiet := flag.Bool("quiet", false, "suppress per-event output")
 	flag.Parse()
 
@@ -66,8 +82,27 @@ func main() {
 			}
 			chunk = simtime.Duration(*chunkMin) * simtime.Minute
 		}
-		err = runFleet(*seed, *instances, *degraded, *workers, *runs, chunk)
+		var ackKinds []string
+		if *ack != "" {
+			*review = true
+			for _, k := range strings.Split(*ack, ",") {
+				if k = strings.TrimSpace(k); k != "" {
+					ackKinds = append(ackKinds, k)
+				}
+			}
+		}
+		err = runFleet(fleetOpts{
+			seed: *seed, instances: *instances, degraded: *degraded,
+			workers: *workers, runs: *runs, chunk: chunk,
+			review: *review, ackKinds: ackKinds, learnedPath: *learned,
+		})
 	} else {
+		for _, unsupported := range []string{"review", "ack", "learned"} {
+			if set[unsupported] {
+				fmt.Fprintf(os.Stderr, "diadsd: -%s needs the fleet's learning loop (-instances > 1)\n", unsupported)
+				os.Exit(2)
+			}
+		}
 		err = run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet)
 	}
 	if err != nil {
@@ -76,34 +111,104 @@ func main() {
 	}
 }
 
+// fleetOpts bundles the fleet-mode flags.
+type fleetOpts struct {
+	seed                int64
+	instances, degraded int
+	workers, runs       int
+	chunk               simtime.Duration
+	review              bool
+	ackKinds            []string
+	learnedPath         string
+}
+
 // runFleet drives the multi-instance fleet to the end of its timeline
-// and prints the grouped incident view. A chunk of 0 uses the fleet
-// default (10 minutes).
-func runFleet(seed int64, instances, degraded, workers, runs int, chunk simtime.Duration) error {
-	if degraded <= 0 {
-		degraded = 3 * instances / 4
-		if degraded < 1 {
-			degraded = 1
+// and prints the grouped incident view plus the mined-candidate review
+// panel. A chunk of 0 uses the fleet default (10 minutes).
+func runFleet(o fleetOpts) error {
+	if o.degraded <= 0 {
+		o.degraded = 3 * o.instances / 4
+		if o.degraded < 1 {
+			o.degraded = 1
 		}
 	}
-	if degraded > instances {
-		return fmt.Errorf("-degraded %d exceeds -instances %d", degraded, instances)
+	if o.degraded > o.instances {
+		return fmt.Errorf("-degraded %d exceeds -instances %d", o.degraded, o.instances)
+	}
+	spec := experiments.FleetSpec{
+		Seed: o.seed, Instances: o.instances, Degraded: o.degraded,
+		Runs: o.runs, Chunk: o.chunk, Workers: o.workers,
+		OperatorReview: o.review, AckKinds: o.ackKinds,
+	}
+	learned := symptoms.NewDB()
+	if o.learnedPath != "" {
+		db, err := loadLearned(o.learnedPath)
+		if err != nil {
+			return err
+		}
+		learned = db
+		full := symptoms.Builtin()
+		for _, e := range learned.Entries() {
+			if err := full.Add(e); err != nil {
+				return fmt.Errorf("learned entry %s: %w", e.Kind, err)
+			}
+		}
+		spec.SymDB = full
+		fmt.Printf("diadsd: loaded %d learned entries from %s\n", len(learned.Entries()), o.learnedPath)
 	}
 	fmt.Printf("diadsd: fleet of %d instances, shared pool %s misconfigured under the first %d\n",
-		instances, testbed.PoolP1, degraded)
-	rep, onsets, err := experiments.RunFleetSpec(experiments.FleetSpec{
-		Seed: seed, Instances: instances, Degraded: degraded,
-		Runs: runs, Chunk: chunk, Workers: workers,
-	})
+		o.instances, testbed.PoolP1, o.degraded)
+	rep, onsets, err := experiments.RunFleetSpec(spec)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fault onsets %s .. %s (staggered)\n\n",
-		onsets[0].Clock(), onsets[degraded-1].Clock())
+		onsets[0].Clock(), onsets[o.degraded-1].Clock())
 	fmt.Println(console.FleetPanel(rep))
+	fmt.Println(console.CandidatesPanel(rep.Learning))
+	if o.learnedPath != "" {
+		if err := saveLearned(o.learnedPath, learned, rep.Learning); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("apg cache %d/%d hits, sd cache %d/%d hits\n",
 		rep.Stats.APG.Hits, rep.Stats.APG.Hits+rep.Stats.APG.Misses,
 		rep.Stats.SD.Hits, rep.Stats.SD.Hits+rep.Stats.SD.Misses)
+	return nil
+}
+
+// loadLearned parses the learned-entry DSL file; a missing file is an
+// empty database (first run).
+func loadLearned(path string) (*symptoms.DB, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return symptoms.NewDB(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	db, err := symptoms.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// saveLearned persists the union of previously-learned entries and this
+// run's validated installs back to the DSL file.
+func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats) error {
+	added := 0
+	for _, ie := range st.Installed {
+		if err := learned.Add(ie.Entry); err != nil {
+			return fmt.Errorf("persisting %s: %w", ie.Kind, err)
+		}
+		added++
+	}
+	body := "# symptom entries learned by diadsd — reloaded on the next run\n" + learned.Render()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("persisted %d learned entries (%d new) to %s\n", len(learned.Entries()), added, path)
 	return nil
 }
 

@@ -92,6 +92,15 @@ type (
 	// SymptomMiner proposes codebook entries from confirmed incidents
 	// (Section 7's self-evolving symptoms database).
 	SymptomMiner = symptoms.Miner
+	// SymptomCandidate is one proposed codebook entry awaiting
+	// validation and review.
+	SymptomCandidate = symptoms.CandidateEntry
+	// SymptomValidator replays candidates against healthy-period fact
+	// bases and held-out confirmed incidents before they may install.
+	SymptomValidator = symptoms.Validator
+	// SymptomValidation is a candidate's typed validation report with
+	// per-condition reasons.
+	SymptomValidation = symptoms.Validation
 
 	// Monitor is the online detection front-end: it ingests completed
 	// runs, maintains incremental per-query baselines, and emits
@@ -138,8 +147,15 @@ type (
 	// across instances through shared SAN infrastructure.
 	GroupedIncident = fleet.GroupedIncident
 	// FleetLearnStats summarizes the cross-instance symptom-learning
-	// loop.
+	// loop: confirmed/held-out incidents, the healthy corpus, and the
+	// installed/pending/rejected candidate lifecycle.
 	FleetLearnStats = fleet.LearnStats
+	// FleetLearnConfig tunes the learning loop, including the
+	// validation thresholds and the review policy.
+	FleetLearnConfig = fleet.LearnConfig
+	// FleetReviewPolicy selects how validated candidates are adopted:
+	// auto-accept-on-validation or an operator ack.
+	FleetReviewPolicy = fleet.ReviewPolicy
 	// FleetResult is the outcome of the fleet scenario with its
 	// learning-off baseline.
 	FleetResult = experiments.FleetResult
@@ -164,6 +180,12 @@ const (
 	ScenarioCPUSaturation    = experiments.SCPUSaturation
 	ScenarioDiskFailure      = experiments.SDiskFailure
 	ScenarioRAIDRebuild      = experiments.SRAIDRebuild
+)
+
+// Review policies for the fleet learning loop's adoption gate.
+const (
+	ReviewAutoAccept = fleet.ReviewAutoAccept
+	ReviewOperator   = fleet.ReviewOperator
 )
 
 // NewTestbed builds the paper's Figure 1 environment with default

@@ -205,6 +205,45 @@ func FleetPanel(rep *fleet.Report) string {
 	return b.String()
 }
 
+// CandidatesPanel renders the mined-candidate review screen: the
+// evidence the learning loop has accumulated, the entries it installed,
+// the candidates still in flight (with their admin-DSL rendering, ready
+// for an operator to ack or paste into the database), and the rejected
+// ones with the validation reasons. Byte-deterministic per seed — it
+// renders only lifecycle state, never wall-clock or cache counters.
+func CandidatesPanel(st fleet.LearnStats) string {
+	var b strings.Builder
+	b.WriteString("DIADS — Mined Candidates\n\n")
+	fmt.Fprintf(&b, "evidence: confirmed=%d held-out=%d healthy-corpus=%d\n",
+		st.Confirmed, st.HeldOut, st.Healthy)
+	if len(st.Installed)+len(st.Pending)+len(st.Rejected) == 0 {
+		b.WriteString("  (no candidates proposed)\n")
+		return b.String()
+	}
+	for _, e := range st.Installed {
+		fmt.Fprintf(&b, "\ninstalled %s (mined from %s)\n", e.Kind, strings.Join(e.Sources, " "))
+		fmt.Fprintf(&b, "  healthy replay %d bases / %d false positives, hold-out %d/%d high\n",
+			e.Validation.Healthy, e.Validation.FalsePositives,
+			e.Validation.HoldoutHigh, e.Validation.Holdout)
+	}
+	for _, p := range st.Pending {
+		fmt.Fprintf(&b, "\npending %s — %s\n", p.Kind, p.State)
+		for _, line := range strings.Split(strings.TrimRight(p.Rendered, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	for _, r := range st.Rejected {
+		fmt.Fprintf(&b, "\nrejected %s — %s\n", r.Kind, r.Reason)
+		for _, c := range r.Validation.Conditions {
+			if c.HealthyHits > 0 || c.HoldoutMisses > 0 {
+				fmt.Fprintf(&b, "  %-50s healthy-hits=%d holdout-misses=%d\n",
+					c.Expr, c.HealthyHits, c.HoldoutMisses)
+			}
+		}
+	}
+	return b.String()
+}
+
 // PlanScreen renders a plan as the pop-up the query screen shows when the
 // plan cell is clicked.
 func PlanScreen(p *plan.Plan) string {

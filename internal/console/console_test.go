@@ -182,3 +182,47 @@ func TestFleetPanelRendersGroupedView(t *testing.T) {
 		t.Error("nil report should render a placeholder")
 	}
 }
+
+func TestCandidatesPanelRendersLifecycle(t *testing.T) {
+	mined := symptoms.CauseSANMisconfig + symptoms.MinedSuffix
+	st := fleet.LearnStats{
+		Confirmed: 4, HeldOut: 2, Healthy: 3,
+		Installed: []fleet.InstalledEntry{{
+			Kind: mined, Sources: []string{"inst-0", "inst-1"},
+			Validation: symptoms.Validation{
+				Kind: mined, Verdict: symptoms.VerdictPass,
+				Healthy: 3, Holdout: 2, HoldoutHigh: 2,
+			},
+		}},
+		Pending: []fleet.PendingCandidate{{
+			Kind:     "lock-contention" + symptoms.MinedSuffix,
+			State:    "validated — awaiting operator review",
+			Rendered: "# mined from 2/2 incidents — review before adopting\ncause lock-contention-mined scope=global {\n  100: ge(lock-anomaly:db, 0.8)\n}\n",
+		}},
+		Rejected: []fleet.RejectedCandidate{{
+			Kind:   "noise-mined",
+			Reason: "conditions hold during healthy periods: ge(ambient, 0.8)",
+			Validation: symptoms.Validation{
+				Conditions: []symptoms.ConditionCheck{{Expr: "ge(ambient, 0.8)", HealthyHits: 3}},
+			},
+		}},
+	}
+	out := CandidatesPanel(st)
+	for _, want := range []string{
+		"DIADS — Mined Candidates",
+		"confirmed=4 held-out=2 healthy-corpus=3",
+		"installed " + mined + " (mined from inst-0 inst-1)",
+		"healthy replay 3 bases / 0 false positives, hold-out 2/2 high",
+		"pending lock-contention-mined — validated — awaiting operator review",
+		"cause lock-contention-mined scope=global {", // the DSL the operator acks
+		"rejected noise-mined — conditions hold during healthy periods",
+		"healthy-hits=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("candidates panel missing %q:\n%s", want, out)
+		}
+	}
+	if empty := CandidatesPanel(fleet.LearnStats{}); !strings.Contains(empty, "no candidates proposed") {
+		t.Errorf("empty lifecycle should render a placeholder:\n%s", empty)
+	}
+}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"diads/internal/monitor"
 	"diads/internal/simtime"
+	"diads/internal/symptoms"
 )
 
 // TestOnlineChunkSizeDeterminism pins the evidence-window contract end to
@@ -70,6 +72,68 @@ func TestFleetChunkSizeDeterminism(t *testing.T) {
 		if rep.Render() != base.Render() {
 			t.Errorf("chunk %v fleet report differs from batch\n--- batch ---\n%s\n--- chunk %v ---\n%s",
 				chunk, base.Render(), chunk, rep.Render())
+		}
+	}
+}
+
+// TestFleetValidationReviewDeterminism extends the determinism sweep to
+// the full candidate lifecycle: a fleet run with healthy-corpus
+// validation and the operator review gate enabled (a scripted operator
+// acks the expected mined kind) must stay byte-identical across chunk
+// sizes and across MaxStreams/worker settings. The corpus is built from
+// quiet-window probes and low-confidence diagnoses captured mid-run, so
+// this is the part of the report most sensitive to scheduling — pinned
+// here so validation can never reintroduce the chunk-size race.
+func TestFleetValidationReviewDeterminism(t *testing.T) {
+	mined := symptoms.CauseSANMisconfig + symptoms.MinedSuffix
+	base := FleetSpec{
+		Seed: testSeed, Instances: 4, Degraded: 3, Runs: 12,
+		OperatorReview: true, AckKinds: []string{mined},
+	}
+	spec := base
+	spec.Chunk = 48 * simtime.Hour // one barrier: the batch extreme
+	want, _, err := RunFleetSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := want.Learning
+	// The sweep must exercise the whole gate: healthy evidence captured,
+	// an incident held out, the acked entry installed and transferring.
+	if lr.Healthy == 0 || lr.HeldOut == 0 {
+		t.Fatalf("no validation evidence accrued:\n%s", want.Render())
+	}
+	if len(lr.Installed) == 0 || lr.Transfers == 0 {
+		t.Fatalf("review gate never admitted the acked entry:\n%s", want.Render())
+	}
+	for _, ie := range lr.Installed {
+		// The regression the healthy corpus exists to prevent: facts
+		// present during normal operation (the pseudo-labeled probe
+		// always carries first-unsat-run) must not survive as
+		// "discriminative" conditions.
+		if rendered := ie.Entry.Render(); strings.Contains(rendered, "first-unsat-run") {
+			t.Errorf("installed entry %s encodes an always-present fact:\n%s", ie.Kind, rendered)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		mod  func(*FleetSpec)
+	}{
+		{"chunk-1min", func(s *FleetSpec) { s.Chunk = simtime.Minute }},
+		{"chunk-5min", func(s *FleetSpec) { s.Chunk = 5 * simtime.Minute }},
+		{"chunk-10min-serial", func(s *FleetSpec) {
+			s.Chunk = 10 * simtime.Minute
+			s.MaxStreams, s.Workers = 1, 1
+		}},
+	} {
+		spec := base
+		c.mod(&spec)
+		rep, _, err := RunFleetSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Render() != want.Render() {
+			t.Errorf("%s: validated+reviewed fleet report diverged\n--- batch ---\n%s\n--- %s ---\n%s",
+				c.name, want.Render(), c.name, rep.Render())
 		}
 	}
 }

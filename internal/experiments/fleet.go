@@ -119,6 +119,18 @@ type FleetSpec struct {
 	Workers    int
 	// LearnOff disables the symptom-learning loop.
 	LearnOff bool
+	// SymDB overrides the fleet-shared symptoms database (nil =
+	// symptoms.Builtin()). cmd/diadsd passes a database extended with
+	// entries learned — and persisted to the admin DSL — in earlier runs.
+	SymDB *symptoms.DB
+	// OperatorReview switches the learning loop's adoption gate from
+	// auto-accept-on-validation to an operator ack, scripted here:
+	// validated candidates whose kind appears in AckKinds are accepted,
+	// every other validated candidate is rejected as "operator
+	// rejected". With an empty AckKinds list, validated candidates stay
+	// pending (rendered in the report for a human to adopt by hand).
+	OperatorReview bool
+	AckKinds       []string
 }
 
 // RunFleetSpec builds the instances from the shared online-scenario
@@ -145,13 +157,30 @@ func RunFleetSpec(spec FleetSpec) (*fleet.Report, []simtime.Time, error) {
 		})
 		onsets = append(onsets, env.Onset)
 	}
+	learn := fleet.LearnConfig{Disabled: spec.LearnOff}
+	if spec.OperatorReview {
+		learn.Review = fleet.ReviewOperator
+		if len(spec.AckKinds) > 0 {
+			acked := make(map[string]bool, len(spec.AckKinds))
+			for _, k := range spec.AckKinds {
+				acked[k] = true
+			}
+			learn.Reviewer = func(c symptoms.CandidateEntry, _ symptoms.Validation) bool {
+				return acked[c.CauseKind]
+			}
+		}
+	}
+	symdb := spec.SymDB
+	if symdb == nil {
+		symdb = symptoms.Builtin()
+	}
 	fl, err := fleet.New(fleet.Config{
-		SymDB:          symptoms.Builtin(),
+		SymDB:          symdb,
 		SharedSubjects: fleetSharedSubjects(),
 		Chunk:          spec.Chunk,
 		MaxStreams:     spec.MaxStreams,
 		Service:        service.Config{Workers: spec.Workers},
-		Learn:          fleet.LearnConfig{Disabled: spec.LearnOff},
+		Learn:          learn,
 	}, insts)
 	if err != nil {
 		return nil, nil, err

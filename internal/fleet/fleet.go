@@ -34,6 +34,8 @@ import (
 	"sort"
 	"sync"
 
+	"diads/internal/diag"
+	"diads/internal/exec"
 	"diads/internal/monitor"
 	"diads/internal/service"
 	"diads/internal/simtime"
@@ -130,7 +132,11 @@ type Fleet struct {
 	svc       *service.Service
 
 	mu    sync.Mutex // guards learn and instanceState.transfers
-	learn learnState
+	learn *learner
+
+	// probed marks (instance, query) pairs whose quiet-window baseline
+	// has been captured into the healthy corpus. Coordinator-owned.
+	probed map[string]bool
 
 	ran bool
 }
@@ -147,7 +153,8 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 		symdb:  cfg.SymDB,
 		byID:   make(map[string]*instanceState, len(instances)),
 		shared: make(map[string]bool, len(cfg.SharedSubjects)),
-		learn:  newLearnState(),
+		learn:  newLearner(cfg.Learn, cfg.SymDB),
+		probed: make(map[string]bool),
 	}
 	for _, s := range cfg.SharedSubjects {
 		f.shared[s] = true
@@ -175,6 +182,7 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 		f.svc.AddInstance(st.ID, f.envOf(st))
 	}
 	f.svc.OnDiagnosis = f.onDiagnosis
+	f.svc.OnHealthy = f.onHealthy
 	return f, nil
 }
 
@@ -309,7 +317,7 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 				}
 				released = append(released, f.collect(st, w)...)
 			}
-			if err := f.submitWaves(released); err != nil {
+			if err := f.submitWaves(ctx, released); err != nil {
 				fail(err)
 			}
 		}
@@ -369,7 +377,7 @@ func (f *Fleet) collect(st *instanceState, w simtime.Time) []monitor.SlowdownEve
 // single-chunk batch run produce byte-identical reports. (A coarser
 // chunking merely hands the coordinator several waves at one barrier; the
 // wave sequence itself does not move.)
-func (f *Fleet) submitWaves(released []monitor.SlowdownEvent) error {
+func (f *Fleet) submitWaves(ctx context.Context, released []monitor.SlowdownEvent) error {
 	sort.SliceStable(released, func(i, j int) bool {
 		if released[i].ReadWindow.End != released[j].ReadWindow.End {
 			return released[i].ReadWindow.End < released[j].ReadWindow.End
@@ -395,10 +403,83 @@ func (f *Fleet) submitWaves(released []monitor.SlowdownEvent) error {
 			}
 		}
 		f.svc.Wait()
+		f.quietProbes(ctx, released[i:j])
 		f.learnStep()
 		i = j
 	}
 	return nil
+}
+
+// quietProbes captures the quiet-window baseline of every (instance,
+// query) seen in the wave, once per pair: the event's satisfactory run
+// history is diagnosed as if its last healthy run had been flagged, and
+// whatever facts emerge are by construction present during normal
+// operation — exactly what the miner's background filter and the
+// validator's healthy corpus need. Probes are derived from the event
+// snapshot (not the live monitor state), so their content is a function
+// of the event stream alone and fleet runs stay chunk-size invariant.
+func (f *Fleet) quietProbes(ctx context.Context, wave []monitor.SlowdownEvent) {
+	if f.cfg.Learn.Disabled {
+		return
+	}
+	for _, ev := range wave {
+		key := ev.Instance + "\x00" + ev.Query
+		if f.probed[key] {
+			continue
+		}
+		f.probed[key] = true
+		st := f.byID[ev.Instance]
+		if st == nil {
+			continue
+		}
+		if fb := quietFacts(ctx, f.envOf(st), ev); fb != nil {
+			f.mu.Lock()
+			f.learn.addHealthy(fb)
+			f.mu.Unlock()
+		}
+	}
+}
+
+// quietFacts replays the diagnosis machinery over the event's
+// satisfactory baseline, pseudo-labeling the latest healthy run as
+// unsatisfactory. It returns nil when the baseline is too short to
+// diagnose or the probe fails; the corpus just grows from other probes
+// and low-confidence diagnoses instead.
+func quietFacts(ctx context.Context, env service.Env, ev monitor.SlowdownEvent) *symptoms.FactBase {
+	var sat []*exec.RunRecord
+	for _, r := range ev.Runs {
+		if good, labeled := ev.Satisfactory[r.RunID]; labeled && good {
+			sat = append(sat, r)
+		}
+	}
+	// The probe needs 3 satisfactory runs plus the pseudo-unsatisfactory
+	// one, the workflow's floor.
+	if len(sat) < 4 {
+		return nil
+	}
+	labels := make(map[string]bool, len(sat))
+	for _, r := range sat {
+		labels[r.RunID] = true
+	}
+	labels[sat[len(sat)-1].RunID] = false
+	in := &diag.Input{
+		Query:        ev.Query,
+		Runs:         sat,
+		Satisfactory: labels,
+		Store:        env.Store,
+		Cfg:          env.Cfg,
+		Cat:          env.Cat,
+		Opt:          env.Opt,
+		Params:       env.Params,
+		Stats:        env.Stats,
+		Server:       env.Server,
+		// No SymDB: the probe wants the facts, not a diagnosis.
+	}
+	res, err := diag.DiagnoseContext(ctx, in)
+	if err != nil || res == nil {
+		return nil
+	}
+	return res.Facts
 }
 
 // Service exposes the shared diagnosis service (registry, stats,

@@ -229,15 +229,23 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "service: submitted=%d deduped=%d rejected=%d completed=%d failed=%d\n",
 		r.Stats.Submitted, r.Stats.Deduped, r.Stats.Rejected,
 		r.Stats.Completed, r.Stats.Failed)
-	fmt.Fprintf(&b, "symptom learning: confirmed=%d installed=%d transfers=%d\n",
-		r.Learning.Confirmed, len(r.Learning.Installed), r.Learning.Transfers)
-	for _, e := range r.Learning.Installed {
+	lr := r.Learning
+	fmt.Fprintf(&b, "symptom learning: confirmed=%d held-out=%d healthy=%d installed=%d pending=%d rejected=%d transfers=%d\n",
+		lr.Confirmed, lr.HeldOut, lr.Healthy,
+		len(lr.Installed), len(lr.Pending), len(lr.Rejected), lr.Transfers)
+	for _, e := range lr.Installed {
 		fmt.Fprintf(&b, "  installed %s (mined from %s)\n",
 			e.Kind, strings.Join(e.Sources, " "))
 	}
-	if len(r.Learning.TransferInstances) > 0 {
+	for _, p := range lr.Pending {
+		fmt.Fprintf(&b, "  pending %s — %s\n", p.Kind, p.State)
+	}
+	for _, rej := range lr.Rejected {
+		fmt.Fprintf(&b, "  rejected %s — %s\n", rej.Kind, rej.Reason)
+	}
+	if len(lr.TransferInstances) > 0 {
 		fmt.Fprintf(&b, "  mined symptoms applied on %s\n",
-			strings.Join(r.Learning.TransferInstances, " "))
+			strings.Join(lr.TransferInstances, " "))
 	}
 	return b.String()
 }

@@ -14,11 +14,29 @@ import (
 // the paper's High category boundary.
 const confirmConfidence = 80
 
+// ReviewPolicy selects how a candidate that passed validation is
+// adopted — the paper's "checked by an expert" step.
+type ReviewPolicy int
+
+const (
+	// ReviewAutoAccept installs a candidate as soon as it passes the
+	// healthy-corpus and hold-out replays (validation stands in for the
+	// expert). The default.
+	ReviewAutoAccept ReviewPolicy = iota
+	// ReviewOperator holds validated candidates for an operator ack:
+	// LearnConfig.Reviewer decides, or — when no Reviewer is wired —
+	// the candidate stays pending with its rendered DSL surfaced in
+	// LearnStats (and the console candidates panel) for manual adoption.
+	ReviewOperator
+)
+
 // LearnConfig tunes the cross-instance symptom-learning loop, the
 // paper's Section 7 self-evolving symptoms database closed at fleet
 // scale: confirmed incidents on some instances are mined into candidate
-// entries, accepted candidates are installed into the fleet-shared
-// database, and subsequent diagnoses on *other* instances evaluate them.
+// entries, candidates are validated against healthy-period evidence and
+// held-out incidents, accepted candidates are installed into the
+// fleet-shared database, and subsequent diagnoses on *other* instances
+// evaluate them.
 type LearnConfig struct {
 	// Disabled switches the loop off (the before-side of the fleet
 	// experiment's before/after comparison).
@@ -30,6 +48,26 @@ type LearnConfig struct {
 	// accumulate at high confidence before it counts as confirmed
 	// (default 2) — standing in for the expert's review.
 	ConfirmEvents int
+	// HoldoutEvery withholds every n-th confirmed incident of a cause
+	// kind from mining and gives it to the validator instead, so
+	// candidates are replayed against confirmed incidents they were not
+	// mined from (default 3; values below 2 are raised to 2, since
+	// withholding everything would starve the miner).
+	HoldoutEvery int
+	// MinHealthy is the healthy-corpus size required before any
+	// candidate can be validated (default 1).
+	MinHealthy int
+	// MinHoldout is the number of held-out incidents of a candidate's
+	// class required before it can be validated (default 1).
+	MinHoldout int
+	// Review selects the adoption gate for validated candidates.
+	Review ReviewPolicy
+	// Reviewer is consulted under ReviewOperator: it sees the candidate
+	// and its validation report and answers accept or reject. It is
+	// called from the fleet's coordinator, so it must be deterministic
+	// for fleet runs to stay byte-identical per seed. Nil under
+	// ReviewOperator leaves validated candidates pending.
+	Reviewer func(symptoms.CandidateEntry, symptoms.Validation) bool
 }
 
 func (c LearnConfig) withDefaults() LearnConfig {
@@ -39,6 +77,17 @@ func (c LearnConfig) withDefaults() LearnConfig {
 	if c.ConfirmEvents <= 0 {
 		c.ConfirmEvents = 2
 	}
+	if c.HoldoutEvery <= 0 {
+		c.HoldoutEvery = 3
+	} else if c.HoldoutEvery < 2 {
+		c.HoldoutEvery = 2
+	}
+	if c.MinHealthy <= 0 {
+		c.MinHealthy = 1
+	}
+	if c.MinHoldout <= 0 {
+		c.MinHoldout = 1
+	}
 	return c
 }
 
@@ -47,85 +96,288 @@ type incidentID struct {
 	instance, query, kind, subject string
 }
 
-// learnState is the loop's accumulated knowledge. All fields are guarded
-// by Fleet.mu; the coordinator mutates them only while the service is
-// quiescent, so diagnosis workers always evaluate a stable database.
-type learnState struct {
-	miner symptoms.Miner
-	// fed marks incidents already given to the miner.
+// candidate is one proposed entry in flight: the latest proposal for
+// its kind plus its latest validation report.
+type candidate struct {
+	cand symptoms.CandidateEntry
+	val  symptoms.Validation
+}
+
+// state names what the candidate is waiting for.
+func (c *candidate) state() string {
+	if c.val.Verdict == symptoms.VerdictPass {
+		return "validated — awaiting operator review"
+	}
+	if c.val.Reason != "" {
+		return c.val.Reason
+	}
+	return "proposed — awaiting validation"
+}
+
+// learner runs the candidate lifecycle — proposed → validated →
+// installed/rejected — over a shared symptoms database. It has no
+// locking of its own: the Fleet drives it from the single coordinator
+// under the fleet mutex, and tests drive it directly.
+type learner struct {
+	cfg       LearnConfig
+	symdb     *symptoms.DB
+	miner     symptoms.Miner
+	validator symptoms.Validator
+
+	// preinstalled records cause kinds already in the database when the
+	// learner was built (entries learned in a previous run and reloaded
+	// from the DSL); proposals for them are neither re-validated nor
+	// re-installed.
+	preinstalled map[string]bool
+
+	// fed marks incidents already routed (to the miner or the hold-out
+	// set).
 	fed map[incidentID]bool
+	// kindSeen counts confirmations per cause kind, driving the
+	// hold-out rotation.
+	kindSeen map[string]int
 	// sources accumulates, per prospective mined kind, the instances
-	// whose confirmed incidents support it.
+	// whose confirmed incidents were mined into it (hold-out incidents
+	// do not make their instance an author).
 	sources map[string]map[string]bool
 	// authors freezes sources at install time: instances that confirmed
 	// after the entry was installed are beneficiaries, not authors.
 	authors map[string]map[string]bool
-	// installedOrder lists installed mined kinds in install order.
-	installedOrder []string
-	confirmed      int
-	transfers      int
-	transferredTo  map[string]bool
+
+	// pending holds in-flight candidates by mined kind; pendingOrder
+	// remembers first-proposal order for deterministic reporting.
+	pending      map[string]*candidate
+	pendingOrder []string
+	rejected     map[string]bool
+	rejectedList []RejectedCandidate
+	installed    []InstalledEntry
+
+	confirmed, heldOut int
+	transfers          int
+	transferredTo      map[string]bool
 }
 
-func newLearnState() learnState {
-	return learnState{
+func newLearner(cfg LearnConfig, symdb *symptoms.DB) *learner {
+	l := &learner{
+		cfg:           cfg,
+		symdb:         symdb,
+		preinstalled:  make(map[string]bool),
 		fed:           make(map[incidentID]bool),
+		kindSeen:      make(map[string]int),
 		sources:       make(map[string]map[string]bool),
 		authors:       make(map[string]map[string]bool),
+		pending:       make(map[string]*candidate),
+		rejected:      make(map[string]bool),
 		transferredTo: make(map[string]bool),
+	}
+	l.validator.MinHealthy = cfg.MinHealthy
+	l.validator.MinHoldout = cfg.MinHoldout
+	for _, e := range symdb.Entries() {
+		if symptoms.IsMined(e.Kind) {
+			l.preinstalled[e.Kind] = true
+		}
+	}
+	return l
+}
+
+// addHealthy feeds a healthy-period fact base to BOTH consumers that
+// need a picture of normal operation: the miner's background filter
+// (so always-present facts never become proposed conditions) and the
+// validator's corpus (so candidates that slipped through are rejected
+// on replay). One entry point for both is what keeps the background
+// filter from going dead again.
+func (l *learner) addHealthy(fb *symptoms.FactBase) {
+	if l.validator.AddHealthy(fb) {
+		l.miner.AddBackground(fb)
 	}
 }
 
-// learnStep runs between evidence-time waves while the service is
-// quiescent: feed newly-confirmed incidents to the miner, then install
-// newly-proposed candidates into the shared database. Installation bumps
-// the database version, which invalidates cached symptoms evaluations,
-// so the entry takes effect on the very next wave's diagnoses.
-func (f *Fleet) learnStep() {
-	if f.cfg.Learn.Disabled {
-		return
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, inc := range f.svc.Registry().Incidents() {
+// observe routes newly-confirmed incidents: most feed the miner (their
+// instances become prospective authors), every HoldoutEvery-th of a
+// kind is withheld for the validator's hold-out replay.
+func (l *learner) observe(incs []service.Incident) {
+	for _, inc := range incs {
 		if inc.Kind == service.PlanChangeKind || symptoms.IsMined(inc.Kind) {
 			continue
 		}
-		if inc.Confidence < confirmConfidence || inc.Events < f.cfg.Learn.ConfirmEvents {
+		if inc.Confidence < confirmConfidence || inc.Events < l.cfg.ConfirmEvents {
 			continue
 		}
 		if inc.Result == nil || inc.Result.Facts == nil {
 			continue
 		}
 		id := incidentID{inc.Instance, inc.Query, inc.Kind, inc.Subject}
-		if f.learn.fed[id] {
+		if l.fed[id] {
 			continue
 		}
-		f.learn.fed[id] = true
-		f.learn.confirmed++
-		f.learn.miner.AddIncident(symptoms.Incident{
+		l.fed[id] = true
+		l.kindSeen[inc.Kind]++
+		mined := symptoms.Incident{
 			Facts: inc.Result.Facts, CauseKind: inc.Kind, Subject: inc.Subject,
+		}
+		if l.kindSeen[inc.Kind]%l.cfg.HoldoutEvery == 0 {
+			l.heldOut++
+			l.validator.AddHoldout(mined)
+			continue
+		}
+		l.confirmed++
+		l.miner.AddIncident(mined)
+		kind := inc.Kind + symptoms.MinedSuffix
+		if l.sources[kind] == nil {
+			l.sources[kind] = make(map[string]bool)
+		}
+		l.sources[kind][inc.Instance] = true
+	}
+}
+
+// step advances the lifecycle: refresh proposals, validate every
+// pending candidate, and pass survivors through the review gate.
+func (l *learner) step() {
+	for _, cand := range l.miner.Propose(l.cfg.MinIncidents) {
+		kind := cand.CauseKind
+		if l.preinstalled[kind] || l.authors[kind] != nil || l.rejected[kind] {
+			continue
+		}
+		c := l.pending[kind]
+		if c == nil {
+			c = &candidate{}
+			l.pending[kind] = c
+			l.pendingOrder = append(l.pendingOrder, kind)
+		}
+		// Always refresh to the latest proposal: conditions shrink as
+		// the background corpus grows and support rises with new
+		// confirmations.
+		c.cand = cand
+	}
+	for _, kind := range l.pendingOrder {
+		c := l.pending[kind]
+		if c == nil {
+			continue
+		}
+		c.val = l.validator.Validate(c.cand)
+		switch c.val.Verdict {
+		case symptoms.VerdictDefer:
+			// Stays pending; the state is visible in LearnStats.
+		case symptoms.VerdictReject:
+			l.reject(kind, c.val.Reason, c.val)
+		case symptoms.VerdictPass:
+			if l.cfg.Review == ReviewOperator {
+				if l.cfg.Reviewer == nil {
+					continue // awaiting the operator's ack
+				}
+				if !l.cfg.Reviewer(c.cand, c.val) {
+					l.reject(kind, "operator rejected", c.val)
+					continue
+				}
+			}
+			l.install(kind, c)
+		}
+	}
+}
+
+// reject retires a candidate with its reason; the kind is never
+// proposed, validated, or installed again this run.
+func (l *learner) reject(kind, reason string, val symptoms.Validation) {
+	delete(l.pending, kind)
+	l.rejected[kind] = true
+	l.rejectedList = append(l.rejectedList, RejectedCandidate{
+		Kind: kind, Reason: reason, Validation: val,
+	})
+}
+
+// install adds the candidate to the shared database, freezing its
+// author set. A database rejection (the add failing) retires the
+// candidate with the error as its reason instead of silently retrying
+// the same failing entry every wave.
+func (l *learner) install(kind string, c *candidate) {
+	entry := c.cand.Entry()
+	if err := l.symdb.Add(entry); err != nil {
+		l.reject(kind, "install: "+err.Error(), c.val)
+		return
+	}
+	authors := make(map[string]bool, len(l.sources[kind]))
+	sorted := make([]string, 0, len(l.sources[kind]))
+	for inst := range l.sources[kind] {
+		authors[inst] = true
+		sorted = append(sorted, inst)
+	}
+	sort.Strings(sorted)
+	l.authors[kind] = authors
+	l.installed = append(l.installed, InstalledEntry{
+		Kind: kind, Sources: sorted, Entry: entry, Validation: c.val,
+	})
+	delete(l.pending, kind)
+}
+
+// transferIn records a mined entry of the given kind scoring high on an
+// instance, reporting whether that counts as a cross-instance transfer
+// (the instance did not author the entry).
+func (l *learner) transferIn(kind, instance string) bool {
+	authors := l.authors[kind]
+	if authors == nil || authors[instance] {
+		return false
+	}
+	l.transfers++
+	l.transferredTo[instance] = true
+	return true
+}
+
+// stats snapshots the lifecycle for the report.
+func (l *learner) stats() LearnStats {
+	out := LearnStats{
+		Confirmed: l.confirmed,
+		HeldOut:   l.heldOut,
+		Healthy:   l.validator.HealthyCount(),
+		Transfers: l.transfers,
+	}
+	out.Installed = append(out.Installed, l.installed...)
+	for _, kind := range l.pendingOrder {
+		c := l.pending[kind]
+		if c == nil {
+			continue
+		}
+		out.Pending = append(out.Pending, PendingCandidate{
+			Kind:       kind,
+			State:      c.state(),
+			Support:    c.cand.Support,
+			Incidents:  c.cand.Incidents,
+			Rendered:   c.cand.Render(),
+			Validation: c.val,
 		})
-		mined := inc.Kind + symptoms.MinedSuffix
-		if f.learn.sources[mined] == nil {
-			f.learn.sources[mined] = make(map[string]bool)
-		}
-		f.learn.sources[mined][inc.Instance] = true
 	}
-	for _, cand := range f.learn.miner.Propose(f.cfg.Learn.MinIncidents) {
-		if f.learn.authors[cand.CauseKind] != nil {
-			continue // already installed
-		}
-		if err := f.symdb.Add(cand.Entry()); err != nil {
-			continue // unbalanced weights; never expected from the miner
-		}
-		authors := make(map[string]bool, len(f.learn.sources[cand.CauseKind]))
-		for inst := range f.learn.sources[cand.CauseKind] {
-			authors[inst] = true
-		}
-		f.learn.authors[cand.CauseKind] = authors
-		f.learn.installedOrder = append(f.learn.installedOrder, cand.CauseKind)
+	out.Rejected = append(out.Rejected, l.rejectedList...)
+	for inst := range l.transferredTo {
+		out.TransferInstances = append(out.TransferInstances, inst)
 	}
+	sort.Strings(out.TransferInstances)
+	return out
+}
+
+// learnStep runs between evidence-time waves while the service is
+// quiescent: route newly-confirmed incidents, then advance the
+// candidate lifecycle. Installation bumps the database version, which
+// invalidates cached symptoms evaluations, so an accepted entry takes
+// effect on the very next wave's diagnoses.
+func (f *Fleet) learnStep() {
+	if f.cfg.Learn.Disabled {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.learn.observe(f.svc.Registry().Incidents())
+	f.learn.step()
+}
+
+// onHealthy receives healthy-period fact bases (low-confidence
+// diagnoses from the service, quiet-window probes from the
+// coordinator) and feeds the learner's background/validation corpus.
+func (f *Fleet) onHealthy(_ monitor.SlowdownEvent, fb *symptoms.FactBase) {
+	if f.cfg.Learn.Disabled {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.learn.addHealthy(fb)
 }
 
 // onDiagnosis observes every completed diagnosis (called from service
@@ -143,31 +395,68 @@ func (f *Fleet) onDiagnosis(ev monitor.SlowdownEvent, res *diag.Result) {
 		if !symptoms.IsMined(c.Kind) || c.Confidence < confirmConfidence {
 			continue
 		}
-		authors := f.learn.authors[c.Kind]
-		if authors == nil || authors[ev.Instance] {
-			continue
-		}
-		f.learn.transfers++
-		f.learn.transferredTo[ev.Instance] = true
-		if st := f.byID[ev.Instance]; st != nil {
-			st.transfers++
+		if f.learn.transferIn(c.Kind, ev.Instance) {
+			if st := f.byID[ev.Instance]; st != nil {
+				st.transfers++
+			}
 		}
 	}
 }
 
 // InstalledEntry describes one mined entry installed into the shared
-// database and the instances whose confirmed incidents authored it.
+// database: the instances whose confirmed incidents authored it, the
+// installable entry itself (renderable to the admin DSL for
+// persistence), and the validation report that admitted it.
 type InstalledEntry struct {
 	Kind    string
 	Sources []string
+	// Entry is the installed database entry; Entry.Render() is the DSL
+	// form that reloads through symptoms.Parse in a later run.
+	Entry symptoms.Entry
+	// Validation is the report that passed it.
+	Validation symptoms.Validation
+}
+
+// PendingCandidate is a proposed entry still in flight: deferred for
+// more evidence, or validated and awaiting the operator's ack.
+type PendingCandidate struct {
+	Kind string
+	// State says what the candidate is waiting for.
+	State string
+	// Support/Incidents mirror the candidate's mining support.
+	Support, Incidents int
+	// Rendered is the candidate in the admin DSL
+	// (CandidateEntry.Render) — what an operator reviews and acks.
+	Rendered string
+	// Validation is the latest validation report.
+	Validation symptoms.Validation
+}
+
+// RejectedCandidate is a retired candidate and why.
+type RejectedCandidate struct {
+	Kind   string
+	Reason string
+	// Validation is the report behind the rejection (zero for
+	// rejections that never reached validation, like install errors).
+	Validation symptoms.Validation
 }
 
 // LearnStats summarizes the learning loop's run.
 type LearnStats struct {
-	// Confirmed counts incidents fed to the miner.
+	// Confirmed counts incidents fed to the miner; HeldOut the
+	// confirmed incidents withheld for the validator's hold-out replay.
 	Confirmed int
-	// Installed lists the mined entries installed, in install order.
+	HeldOut   int
+	// Healthy is the healthy-corpus size feeding the miner's background
+	// filter and the validator.
+	Healthy int
+	// Installed lists the entries installed, in install order.
 	Installed []InstalledEntry
+	// Pending lists candidates still in flight, in proposal order.
+	Pending []PendingCandidate
+	// Rejected lists retired candidates with reasons, in
+	// rejection order.
+	Rejected []RejectedCandidate
 	// Transfers counts diagnoses where a mined entry scored high on an
 	// instance that did not author it; TransferInstances lists the
 	// benefiting instances (sorted).
@@ -179,21 +468,5 @@ type LearnStats struct {
 func (f *Fleet) learnStats() LearnStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := LearnStats{
-		Confirmed: f.learn.confirmed,
-		Transfers: f.learn.transfers,
-	}
-	for _, kind := range f.learn.installedOrder {
-		e := InstalledEntry{Kind: kind}
-		for inst := range f.learn.authors[kind] {
-			e.Sources = append(e.Sources, inst)
-		}
-		sort.Strings(e.Sources)
-		out.Installed = append(out.Installed, e)
-	}
-	for inst := range f.learn.transferredTo {
-		out.TransferInstances = append(out.TransferInstances, inst)
-	}
-	sort.Strings(out.TransferInstances)
-	return out
+	return f.learn.stats()
 }

@@ -143,6 +143,15 @@ type Service struct {
 	// before Start.
 	OnDiagnosis func(ev monitor.SlowdownEvent, res *diag.Result)
 
+	// OnHealthy, when non-nil, observes the fact base of every completed
+	// diagnosis that found nothing: no plan change and no cause above low
+	// confidence. Such a diagnosis is a snapshot of ordinary operation —
+	// facts that fire without an identifiable problem — and the fleet
+	// layer feeds these bases to the symptom miner's background filter
+	// and the candidate validator's healthy corpus. Called from worker
+	// goroutines; set it before Start.
+	OnHealthy func(ev monitor.SlowdownEvent, facts *symptoms.FactBase)
+
 	jobs    chan job
 	quit    chan struct{} // closed by Stop; retires the ctx watcher
 	mu      sync.Mutex
@@ -371,6 +380,11 @@ func (s *Service) run(ctx context.Context, j job) {
 	s.completed.Add(1)
 	if s.OnDiagnosis != nil {
 		s.OnDiagnosis(j.ev, res)
+	}
+	if s.OnHealthy != nil && res.Facts != nil {
+		if kind, _, _, _ := topCauseOf(res); kind == "" {
+			s.OnHealthy(j.ev, res.Facts)
+		}
 	}
 }
 

@@ -124,6 +124,61 @@ func TestServiceDiagnosesEventsConcurrently(t *testing.T) {
 	}
 }
 
+// TestServiceCapturesLowConfidenceFactBases pins the OnHealthy hook:
+// a diagnosis that identifies nothing (no plan change, no cause above
+// low confidence) hands its fact base over as healthy-period evidence,
+// while confident diagnoses never do.
+func TestServiceCapturesLowConfidenceFactBases(t *testing.T) {
+	env, evs := slowdownRig(t, 44)
+
+	run := func(env Env) ([]*symptoms.FactBase, Stats) {
+		svc := New(env, Config{Workers: 2})
+		var mu sync.Mutex
+		var healthy []*symptoms.FactBase
+		svc.OnHealthy = func(_ monitor.SlowdownEvent, fb *symptoms.FactBase) {
+			mu.Lock()
+			defer mu.Unlock()
+			healthy = append(healthy, fb)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		svc.Start(ctx)
+		for _, ev := range evs {
+			if err := svc.Submit(ev); err != nil {
+				t.Fatalf("submit %s: %v", ev.RunID, err)
+			}
+		}
+		svc.Wait()
+		svc.Stop()
+		return healthy, svc.Stats()
+	}
+
+	// With the built-in database the fault diagnoses confidently:
+	// nothing is healthy-period evidence.
+	healthy, st := run(env)
+	if len(healthy) != 0 {
+		t.Fatalf("confident diagnoses must not be captured as healthy, got %d", len(healthy))
+	}
+	if st.Completed != int64(len(evs)) {
+		t.Fatalf("completed=%d, want %d", st.Completed, len(evs))
+	}
+
+	// With an empty database every diagnosis stays below low
+	// confidence: each completed diagnosis's facts reach the hook.
+	empty := env
+	empty.SymDB = symptoms.NewDB()
+	healthy, st = run(empty)
+	if int64(len(healthy)) != st.Completed || st.Completed == 0 {
+		t.Fatalf("captured %d healthy bases from %d low-confidence diagnoses",
+			len(healthy), st.Completed)
+	}
+	for _, fb := range healthy {
+		if fb == nil || fb.Len() == 0 {
+			t.Fatal("captured fact base is empty")
+		}
+	}
+}
+
 func TestSubmitDeduplicatesAndExertsBackpressure(t *testing.T) {
 	env, evs := slowdownRig(t, 43)
 	ev := evs[0]

@@ -40,6 +40,25 @@ type Entry struct {
 	Conditions []Condition
 }
 
+// Render formats the entry in the administrator-editable DSL accepted by
+// Parse. Rendering and re-parsing round-trips the entry (kind, scope,
+// fix, weights, condition expressions), which is what lets knowledge
+// learned at runtime — mined entries installed by the fleet's learning
+// loop — persist across runs as ordinary database text.
+func (e Entry) Render() string {
+	var b strings.Builder
+	b.WriteString("cause " + e.Kind + " scope=" + string(e.Scope))
+	if e.Fix != "" {
+		b.WriteString(` fix="` + escapeFix(e.Fix) + `"`)
+	}
+	b.WriteString(" {\n")
+	for _, c := range e.Conditions {
+		fmt.Fprintf(&b, "  %g: %s\n", c.Weight, c.Expr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
 // Category is the paper's three-way confidence classification.
 type Category string
 
@@ -107,6 +126,20 @@ func (db *DB) Add(e Entry) error {
 
 // Entries returns the entries.
 func (db *DB) Entries() []Entry { return db.entries }
+
+// Render formats the whole database in the DSL accepted by Parse, one
+// entry per block in database order. Parse(db.Render()) reconstructs an
+// equivalent database — the persistence format for learned entries.
+func (db *DB) Render() string {
+	var b strings.Builder
+	for i, e := range db.entries {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(e.Render())
+	}
+	return b.String()
+}
 
 // Version counts the mutations the database has seen. Caches of
 // evaluation results key on it so installing or removing an entry
@@ -244,6 +277,37 @@ func Parse(src string) (*DB, error) {
 	return db, nil
 }
 
+// escapeFix makes a fix string representable inside the DSL's
+// double-quoted form: backslashes and quotes are escaped, newlines
+// (unrepresentable in the line-based format) become spaces.
+func escapeFix(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// unquoteFix scans a fix string starting just past its opening quote,
+// honoring backslash escapes, and returns the unescaped text plus the
+// number of input bytes consumed (through the closing quote).
+func unquoteFix(tail string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(tail); i++ {
+		switch c := tail[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(tail) {
+				return "", 0, fmt.Errorf("dangling escape in fix string")
+			}
+			i++
+			b.WriteByte(tail[i])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated fix string")
+}
+
 // parseHeader parses `<kind> scope=<scope> [fix="..."]`.
 func parseHeader(header string) (Entry, error) {
 	e := Entry{}
@@ -251,12 +315,12 @@ func parseHeader(header string) (Entry, error) {
 	// Extract fix="..." first since it may contain spaces.
 	if idx := strings.Index(rest, `fix="`); idx >= 0 {
 		tail := rest[idx+len(`fix="`):]
-		end := strings.Index(tail, `"`)
-		if end < 0 {
-			return e, fmt.Errorf("unterminated fix string")
+		fix, consumed, err := unquoteFix(tail)
+		if err != nil {
+			return e, err
 		}
-		e.Fix = tail[:end]
-		rest = strings.TrimSpace(rest[:idx] + tail[end+1:])
+		e.Fix = fix
+		rest = strings.TrimSpace(rest[:idx] + tail[consumed:])
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {

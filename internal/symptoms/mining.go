@@ -35,6 +35,10 @@ const MinedSuffix = "-mined"
 // IsMined reports whether a cause kind was produced by the miner.
 func IsMined(kind string) bool { return strings.HasSuffix(kind, MinedSuffix) }
 
+// BaseKind strips the mined suffix, recovering the expert-confirmed
+// cause kind a mined entry corroborates.
+func BaseKind(kind string) string { return strings.TrimSuffix(kind, MinedSuffix) }
+
 // Miner accumulates incidents and proposes codebook entries.
 type Miner struct {
 	incidents []Incident
@@ -49,7 +53,8 @@ func (m *Miner) AddIncident(inc Incident) { m.incidents = append(m.incidents, in
 // AddBackground records a healthy-period fact base.
 func (m *Miner) AddBackground(fb *FactBase) { m.background = append(m.background, fb) }
 
-// CandidateEntry is a proposed codebook entry awaiting expert review.
+// CandidateEntry is a proposed codebook entry awaiting validation and
+// review.
 type CandidateEntry struct {
 	CauseKind string
 	// Conditions are the proposed condition expressions with suggested
@@ -60,6 +65,10 @@ type CandidateEntry struct {
 	Support int
 	// Incidents is the class size.
 	Incidents int
+	// Skipped counts discriminative facts dropped because their names do
+	// not survive the condition DSL (delimiters in a metric name, say) —
+	// the miner skips them rather than proposing an unparseable entry.
+	Skipped int
 }
 
 // Entry converts the candidate into an installable database entry. The
@@ -77,15 +86,16 @@ func (c CandidateEntry) Entry() Entry {
 }
 
 // Render formats the candidate in the administrator-editable DSL, ready
-// to paste into the database once reviewed.
+// to paste into the database once reviewed. The body below the comment
+// line is exactly Entry().Render(), so an accepted candidate reloads
+// through Parse.
 func (c CandidateEntry) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# mined from %d/%d incidents — review before adopting\n", c.Support, c.Incidents)
-	fmt.Fprintf(&b, "cause %s scope=global {\n", c.CauseKind)
-	for _, cond := range c.Conditions {
-		fmt.Fprintf(&b, "  %g: %s\n", cond.Weight, cond.Expr)
+	if c.Skipped > 0 {
+		fmt.Fprintf(&b, "# %d facts skipped: names not expressible in the condition DSL\n", c.Skipped)
 	}
-	b.WriteString("}\n")
+	b.WriteString(c.Entry().Render())
 	return b.String()
 }
 
@@ -119,17 +129,29 @@ func (m *Miner) Propose(minIncidents int) []CandidateEntry {
 		if len(discriminative) == 0 {
 			continue
 		}
-		weight := 100.0 / float64(len(discriminative))
 		cand := CandidateEntry{
 			CauseKind: kind + MinedSuffix,
 			Support:   len(class),
 			Incidents: len(class),
 		}
+		// Fact names are data, not code: one with a DSL delimiter in it
+		// must not panic the caller mid-proposal. Unparseable names are
+		// skipped and counted; weights normalize over what survives.
+		var exprs []Expr
 		for _, name := range discriminative {
-			cand.Conditions = append(cand.Conditions, Condition{
-				Weight: weight,
-				Expr:   MustParseExpr(fmt.Sprintf("ge(%s, %g)", name, minedScoreThreshold)),
-			})
+			expr, err := ParseExpr(fmt.Sprintf("ge(%s, %g)", name, minedScoreThreshold))
+			if err != nil {
+				cand.Skipped++
+				continue
+			}
+			exprs = append(exprs, expr)
+		}
+		if len(exprs) == 0 {
+			continue
+		}
+		weight := 100.0 / float64(len(exprs))
+		for _, expr := range exprs {
+			cand.Conditions = append(cand.Conditions, Condition{Weight: weight, Expr: expr})
 		}
 		out = append(out, cand)
 	}

@@ -93,6 +93,135 @@ func TestMinerRequiresConsistency(t *testing.T) {
 	}
 }
 
+// TestMinerSkipsHostileFactNames pins that a fact name carrying DSL
+// delimiters is data, not code: Propose must not panic (the old
+// MustParseExpr path took the whole fleet coordinator down
+// mid-learnStep), and the unparseable names are skipped and counted
+// while the rest of the candidate survives with renormalized weights.
+func TestMinerSkipsHostileFactNames(t *testing.T) {
+	var m Miner
+	hostile := []string{"evil)name", "trailing, 0.9) or(x"}
+	for i := 0; i < 3; i++ {
+		fb := NewFactBase()
+		fb.Add("fact-good", 0.9)
+		fb.Add("fact-also-good", 0.95)
+		for _, name := range hostile {
+			fb.Add(name, 0.9)
+		}
+		m.AddIncident(Incident{Facts: fb, CauseKind: "hostile"})
+	}
+	cands := m.Propose(3)
+	if len(cands) != 1 {
+		t.Fatalf("want 1 candidate, got %d", len(cands))
+	}
+	c := cands[0]
+	if c.Skipped != len(hostile) {
+		t.Fatalf("skipped = %d, want %d", c.Skipped, len(hostile))
+	}
+	if len(c.Conditions) != 2 {
+		t.Fatalf("conditions = %d, want the 2 parseable facts", len(c.Conditions))
+	}
+	var sum float64
+	for _, cond := range c.Conditions {
+		sum += cond.Weight
+	}
+	if sum < 99.5 || sum > 100.5 {
+		t.Fatalf("weights renormalize over survivors, sum = %v", sum)
+	}
+	if !strings.Contains(c.Render(), "2 facts skipped") {
+		t.Fatalf("render should surface the skip count:\n%s", c.Render())
+	}
+
+	// All facts hostile: no candidate rather than a panic or an empty,
+	// uninstallable entry.
+	var m2 Miner
+	for i := 0; i < 3; i++ {
+		fb := NewFactBase()
+		fb.Add("evil)only", 0.9)
+		m2.AddIncident(Incident{Facts: fb, CauseKind: "all-hostile"})
+	}
+	if cands := m2.Propose(3); len(cands) != 0 {
+		t.Fatalf("all-hostile class should propose nothing, got %v", cands)
+	}
+}
+
+// TestCandidateRenderParseRoundTrip pins that every installable
+// candidate is reloadable: CandidateEntry.Render() → Parse reconstructs
+// the entry with the same kind (mined suffix intact), global scope, and
+// weights summing to 100 — the contract that lets learned entries
+// persist across runs as DSL text.
+func TestCandidateRenderParseRoundTrip(t *testing.T) {
+	var m Miner
+	for i := 0; i < 3; i++ {
+		fb := NewFactBase()
+		fb.Add("metric-anomaly:vol-V1:writeTime", 0.95)
+		fb.Add("cos-leaf-frac:vol-V1", 1.0)
+		fb.Add("pool-load-increase:pool-P1", 0.9)
+		m.AddIncident(Incident{Facts: fb, CauseKind: "round-trip"})
+	}
+	cands := m.Propose(3)
+	if len(cands) != 1 {
+		t.Fatalf("want 1 candidate, got %d", len(cands))
+	}
+	c := cands[0]
+
+	db, err := Parse(c.Render())
+	if err != nil {
+		t.Fatalf("rendered candidate does not parse: %v\n%s", err, c.Render())
+	}
+	entries := db.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("round trip produced %d entries, want 1", len(entries))
+	}
+	got, want := entries[0], c.Entry()
+	if got.Kind != want.Kind || !IsMined(got.Kind) {
+		t.Errorf("kind = %q, want mined %q", got.Kind, want.Kind)
+	}
+	if got.Scope != ScopeGlobal {
+		t.Errorf("scope = %q, want global", got.Scope)
+	}
+	if got.Fix != want.Fix {
+		t.Errorf("fix = %q, want %q", got.Fix, want.Fix)
+	}
+	if len(got.Conditions) != len(want.Conditions) {
+		t.Fatalf("conditions = %d, want %d", len(got.Conditions), len(want.Conditions))
+	}
+	for i := range got.Conditions {
+		if got.Conditions[i].Weight != want.Conditions[i].Weight {
+			t.Errorf("condition %d weight = %v, want %v (must survive %%g formatting exactly)",
+				i, got.Conditions[i].Weight, want.Conditions[i].Weight)
+		}
+		if got.Conditions[i].Expr.String() != want.Conditions[i].Expr.String() {
+			t.Errorf("condition %d expr = %q, want %q",
+				i, got.Conditions[i].Expr, want.Conditions[i].Expr)
+		}
+	}
+}
+
+// TestDBRenderParseRoundTrip pins the database-level persistence
+// format, including the built-in entries' scopes, fixes, and every
+// expression form (exists, ge, not, and, or, before).
+func TestDBRenderParseRoundTrip(t *testing.T) {
+	orig := Builtin()
+	db, err := Parse(orig.Render())
+	if err != nil {
+		t.Fatalf("Builtin().Render() does not parse: %v", err)
+	}
+	a, b := orig.Entries(), db.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("round trip produced %d entries, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Scope != b[i].Scope || a[i].Fix != b[i].Fix {
+			t.Errorf("entry %d header drifted: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Render() != b[i].Render() {
+			t.Errorf("entry %s not fixed-point under render/parse:\n%s\nvs\n%s",
+				a[i].Kind, a[i].Render(), b[i].Render())
+		}
+	}
+}
+
 func TestMinerSeparatesClasses(t *testing.T) {
 	var m Miner
 	for i := 0; i < 3; i++ {

@@ -203,6 +203,38 @@ cause test-cause scope=volume fix="do the thing" {
 	}
 }
 
+// TestRenderParsesQuotedFixStrings pins the Render→Parse round trip
+// for fix strings carrying the DSL's own delimiters: quotes and
+// backslashes are escaped on render and unescaped on parse, so a
+// hand-edited learned file cannot be silently corrupted on re-save.
+func TestRenderParsesQuotedFixStrings(t *testing.T) {
+	hostile := `say "hi" \ there`
+	e := Entry{
+		Kind: "quoted", Scope: ScopeGlobal, Fix: hostile,
+		Conditions: []Condition{{Weight: 100, Expr: MustParseExpr("ge(x, 0.8)")}},
+	}
+	db, err := Parse(e.Render())
+	if err != nil {
+		t.Fatalf("rendered entry does not parse: %v\n%s", err, e.Render())
+	}
+	if got := db.Entries()[0].Fix; got != hostile {
+		t.Fatalf("fix round trip = %q, want %q", got, hostile)
+	}
+	// Newlines cannot live in the line-based format; they degrade to
+	// spaces rather than breaking the block structure.
+	e.Fix = "line one\nline two"
+	db, err = Parse(e.Render())
+	if err != nil {
+		t.Fatalf("newline fix broke parsing: %v", err)
+	}
+	if got := db.Entries()[0].Fix; got != "line one line two" {
+		t.Fatalf("newline fix = %q", got)
+	}
+	if _, err := Parse(`cause x scope=global fix="dangling\` + "\n" + `{` + "\n}"); err == nil {
+		t.Fatal("dangling escape should be rejected")
+	}
+}
+
 func TestParseRejectsBadInput(t *testing.T) {
 	for _, src := range []string{
 		"cause x {",                       // missing scope

@@ -1,0 +1,188 @@
+package symptoms
+
+import (
+	"strings"
+	"testing"
+)
+
+// mineCandidate builds a candidate through the real mining path so
+// validator tests exercise the same conditions production does.
+func mineCandidate(t *testing.T, m *Miner, kind string) CandidateEntry {
+	t.Helper()
+	cands := m.Propose(2)
+	for _, c := range cands {
+		if c.CauseKind == kind+MinedSuffix {
+			return c
+		}
+	}
+	t.Fatalf("no candidate mined for %q (got %d candidates)", kind, len(cands))
+	return CandidateEntry{}
+}
+
+func factBase(scores map[string]float64) *FactBase {
+	fb := NewFactBase()
+	for name, s := range scores {
+		fb.Add(name, s)
+	}
+	return fb
+}
+
+func TestValidatorDefersWithoutEvidence(t *testing.T) {
+	var m Miner
+	for i := 0; i < 2; i++ {
+		m.AddIncident(Incident{
+			Facts:     factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.95}),
+			CauseKind: "cause-x",
+		})
+	}
+	cand := mineCandidate(t, &m, "cause-x")
+
+	var v Validator
+	val := v.Validate(cand)
+	if val.Verdict != VerdictDefer || !strings.Contains(val.Reason, "healthy corpus") {
+		t.Fatalf("empty validator should defer on the corpus, got %s (%s)", val.Verdict, val.Reason)
+	}
+	v.AddHealthy(factBase(map[string]float64{"unrelated": 0.9}))
+	val = v.Validate(cand)
+	if val.Verdict != VerdictDefer || !strings.Contains(val.Reason, "held-out") {
+		t.Fatalf("validator without hold-out should defer on it, got %s (%s)", val.Verdict, val.Reason)
+	}
+}
+
+func TestValidatorPassesDiscriminativeCandidate(t *testing.T) {
+	var m Miner
+	for i := 0; i < 2; i++ {
+		m.AddIncident(Incident{
+			Facts:     factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.95}),
+			CauseKind: "cause-x",
+		})
+	}
+	cand := mineCandidate(t, &m, "cause-x")
+
+	var v Validator
+	v.AddHealthy(factBase(map[string]float64{"fact-a": 0.1, "other": 0.9}))
+	v.AddHoldout(Incident{
+		Facts:     factBase(map[string]float64{"fact-a": 0.85, "fact-b": 0.9}),
+		CauseKind: "cause-x",
+	})
+	val := v.Validate(cand)
+	if val.Verdict != VerdictPass {
+		t.Fatalf("discriminative candidate should pass, got %s (%s)", val.Verdict, val.Reason)
+	}
+	if val.Healthy != 1 || val.FalsePositives != 0 || val.Holdout != 1 || val.HoldoutHigh != 1 {
+		t.Fatalf("counts wrong: %+v", val)
+	}
+	if len(val.Conditions) != 2 {
+		t.Fatalf("want per-condition records for both conditions, got %d", len(val.Conditions))
+	}
+}
+
+func TestValidatorRejectsBackgroundCondition(t *testing.T) {
+	var m Miner
+	for i := 0; i < 2; i++ {
+		m.AddIncident(Incident{
+			Facts:     factBase(map[string]float64{"fact-a": 0.9, "always-on": 0.95}),
+			CauseKind: "cause-x",
+		})
+	}
+	cand := mineCandidate(t, &m, "cause-x")
+
+	var v Validator
+	// The healthy period also exhibits always-on: the condition is
+	// background, not a symptom.
+	v.AddHealthy(factBase(map[string]float64{"always-on": 0.92}))
+	v.AddHoldout(Incident{
+		Facts:     factBase(map[string]float64{"fact-a": 0.9, "always-on": 0.95}),
+		CauseKind: "cause-x",
+	})
+	val := v.Validate(cand)
+	if val.Verdict != VerdictReject {
+		t.Fatalf("background condition should reject, got %s", val.Verdict)
+	}
+	if !strings.Contains(val.Reason, "always-on") {
+		t.Fatalf("reason should name the offending condition: %q", val.Reason)
+	}
+	hits := 0
+	for _, c := range val.Conditions {
+		if strings.Contains(c.Expr, "always-on") {
+			hits = c.HealthyHits
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("per-condition healthy hits = %d, want 1", hits)
+	}
+}
+
+func TestValidatorCountsEntryFalsePositives(t *testing.T) {
+	var m Miner
+	for i := 0; i < 2; i++ {
+		m.AddIncident(Incident{
+			Facts:     factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.95}),
+			CauseKind: "cause-x",
+		})
+	}
+	cand := mineCandidate(t, &m, "cause-x")
+
+	var v Validator
+	// A healthy base exhibiting the full symptom combination: the entry
+	// scores 100 — a false positive, not merely a background condition.
+	v.AddHealthy(factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.9}))
+	v.AddHoldout(Incident{
+		Facts:     factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.9}),
+		CauseKind: "cause-x",
+	})
+	val := v.Validate(cand)
+	if val.Verdict != VerdictReject || val.FalsePositives != 1 {
+		t.Fatalf("want reject with 1 false positive, got %s fp=%d", val.Verdict, val.FalsePositives)
+	}
+	if !strings.Contains(val.Reason, "false positives") {
+		t.Fatalf("reason should cite the false-positive rate: %q", val.Reason)
+	}
+}
+
+func TestValidatorRejectsOnHoldoutMiss(t *testing.T) {
+	var m Miner
+	for i := 0; i < 2; i++ {
+		m.AddIncident(Incident{
+			Facts:     factBase(map[string]float64{"fact-a": 0.9, "fact-b": 0.95}),
+			CauseKind: "cause-x",
+		})
+	}
+	cand := mineCandidate(t, &m, "cause-x")
+
+	var v Validator
+	v.AddHealthy(factBase(map[string]float64{"other": 0.9}))
+	// The held-out confirmed incident lacks fact-b: the candidate
+	// overfits the incidents it was mined from.
+	v.AddHoldout(Incident{
+		Facts:     factBase(map[string]float64{"fact-a": 0.9}),
+		CauseKind: "cause-x",
+	})
+	val := v.Validate(cand)
+	if val.Verdict != VerdictReject || val.HoldoutHigh != 0 {
+		t.Fatalf("want reject with 0/1 hold-out high, got %s high=%d", val.Verdict, val.HoldoutHigh)
+	}
+	misses := 0
+	for _, c := range val.Conditions {
+		if strings.Contains(c.Expr, "fact-b") {
+			misses = c.HoldoutMisses
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("per-condition holdout misses = %d, want 1", misses)
+	}
+}
+
+func TestValidatorDedupsHealthyBases(t *testing.T) {
+	var v Validator
+	fb := factBase(map[string]float64{"a": 0.5})
+	if !v.AddHealthy(fb) {
+		t.Fatal("first add should be new")
+	}
+	if v.AddHealthy(factBase(map[string]float64{"a": 0.5})) {
+		t.Fatal("identical base should be deduplicated")
+	}
+	if v.HealthyCount() != 1 {
+		t.Fatalf("corpus size = %d, want 1", v.HealthyCount())
+	}
+}
