@@ -10,7 +10,7 @@
 // persisted by diadsd's fleet learning loop, closing the loop from
 // online learning back to the offline console.
 //
-//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|timing|report|all] [-symdb FILE]
+//	diads [-scenario N] [-seed S] [-screen query|apg|workflow|timing|telemetry|report|all] [-symdb FILE]
 package main
 
 import (
@@ -24,13 +24,14 @@ import (
 	"diads/internal/metrics"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
+	"diads/internal/telemetry"
 	"diads/internal/testbed"
 )
 
 func main() {
 	scenario := flag.Int("scenario", 1, "scenario number (1-9, see DESIGN.md)")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|timing|report|all")
+	screen := flag.String("screen", "all", "screen to render: query|apg|workflow|timing|telemetry|report|all")
 	component := flag.String("component", string(testbed.VolV1), "component for the APG metric panel")
 	symdb := flag.String("symdb", "", "DSL file with extra symptom entries (e.g. learned by diadsd) added to the built-in database")
 	flag.Parse()
@@ -95,6 +96,11 @@ func run(id experiments.ScenarioID, seed int64, screen, component, symdbPath str
 	}
 	if show("timing") {
 		fmt.Println(console.TimingPanel(res.Trace))
+	}
+	if show("telemetry") {
+		// The same snapshot render diadsd prints and /metrics serves:
+		// module wall histograms and outcome counters from this run.
+		fmt.Println(telemetry.RenderSnapshot(telemetry.Default().Snapshot()))
 	}
 	if show("report") {
 		fmt.Println(res.Render())

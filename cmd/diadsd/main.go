@@ -21,19 +21,35 @@
 // union of old and newly-installed entries back afterwards, so learned
 // knowledge persists across daemon runs.
 //
+// Telemetry: every layer instruments the process-wide registry, and
+// -telemetry ADDR serves it while the daemon runs — /metrics (Prometheus
+// text), /healthz, /traces (per-slowdown span streams), and
+// /debug/pprof. Structured events go to stderr through log/slog
+// (-log-json for one JSON object per line). The end-of-run summary is
+// the same registry snapshot /metrics serves, rendered for the console.
+// The daemon also watches itself: its per-diagnosis wall times feed a
+// dedicated self-monitor whose slowdown events — diadsd diagnosing
+// diadsd — are logged like any other detection. -linger keeps the
+// process (and the telemetry listener) alive after the run until
+// SIGINT/SIGTERM, for scrapes and profile grabs.
+//
 // Usage:
 //
 //	diadsd [-seed S] [-workers N] [-chunk MIN] [-report-every N] [-runs N] [-quiet]
 //	diadsd -instances N [-degraded M] [-seed S] [-workers N] [-chunk MIN] [-runs N]
 //	       [-review] [-ack KIND,KIND] [-learned FILE]
+//	diadsd -telemetry 127.0.0.1:9090 [-log-json] [-linger] ...
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"diads/internal/console"
 	"diads/internal/experiments"
@@ -43,6 +59,8 @@ import (
 	"diads/internal/service"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
+	"diads/internal/telemetry"
+	"diads/internal/telemetry/selfmon"
 	"diads/internal/testbed"
 )
 
@@ -58,10 +76,34 @@ func main() {
 	ack := flag.String("ack", "", "comma-separated mined kinds the operator accepts (implies -review)")
 	learned := flag.String("learned", "", "DSL file to load learned symptom entries from and persist installed ones to")
 	quiet := flag.Bool("quiet", false, "suppress per-event output")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /healthz, /traces, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	logJSON := flag.Bool("log-json", false, "emit structured events as JSON lines")
+	linger := flag.Bool("linger", false, "keep serving telemetry after the run until SIGINT/SIGTERM")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	logger := telemetry.NewLogger(os.Stderr, *logJSON)
+	slog.SetDefault(logger)
+
+	var srv *telemetry.Server
+	if *telemetryAddr != "" {
+		srv = telemetry.NewServer(*telemetryAddr, nil, nil)
+		addr, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diadsd: telemetry listener:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("telemetry listening", "addr", addr,
+			"endpoints", "/metrics /healthz /traces /debug/pprof")
+	} else if *linger {
+		fmt.Fprintln(os.Stderr, "diadsd: -linger needs -telemetry (nothing to serve)")
+		os.Exit(2)
+	}
+
+	self := selfmon.New(selfmon.Config{})
 
 	var err error
 	if *instances > 1 {
@@ -95,6 +137,7 @@ func main() {
 			seed: *seed, instances: *instances, degraded: *degraded,
 			workers: *workers, runs: *runs, chunk: chunk,
 			review: *review, ackKinds: ackKinds, learnedPath: *learned,
+			self: self, logger: logger,
 		})
 	} else {
 		for _, unsupported := range []string{"review", "ack", "learned"} {
@@ -103,12 +146,40 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		err = run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet)
+		err = run(*seed, *workers, *chunkMin, *reportEvery, *runs, *quiet, self, logger)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diadsd:", err)
 		os.Exit(1)
 	}
+
+	drainSelf(self, logger)
+	// One snapshot render for the console — the same data /metrics
+	// serves, so the end-of-run summary and the scrape surface cannot
+	// drift.
+	fmt.Println(telemetry.RenderSnapshot(telemetry.Default().Snapshot()))
+
+	if *linger {
+		logger.Info("run complete, lingering for scrapes", "signal", "SIGINT/SIGTERM to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+}
+
+// drainSelf surfaces the dogfood loop's findings: slowdown events the
+// daemon's self-monitor raised about its own diagnosis latency.
+func drainSelf(self *selfmon.SelfMonitor, logger *slog.Logger) {
+	for _, ev := range self.Drain() {
+		logger.Warn("self-diagnosis: diadsd's own diagnosis latency degraded",
+			"query", ev.Query, "kind", string(ev.Kind),
+			"factor", fmt.Sprintf("%.2f", ev.Factor),
+			"duration", ev.Duration.String(), "baseline", ev.Baseline.String(),
+			"trace", ev.TraceID)
+	}
+	st := self.Stats()
+	logger.Info("self-monitor summary",
+		"observed", st.Observed, "events", st.Events, "queries", st.Queries)
 }
 
 // fleetOpts bundles the fleet-mode flags.
@@ -120,6 +191,8 @@ type fleetOpts struct {
 	review              bool
 	ackKinds            []string
 	learnedPath         string
+	self                *selfmon.SelfMonitor
+	logger              *slog.Logger
 }
 
 // runFleet drives the multi-instance fleet to the end of its timeline
@@ -139,6 +212,7 @@ func runFleet(o fleetOpts) error {
 		Seed: o.seed, Instances: o.instances, Degraded: o.degraded,
 		Runs: o.runs, Chunk: o.chunk, Workers: o.workers,
 		OperatorReview: o.review, AckKinds: o.ackKinds,
+		SelfObserver: o.self,
 	}
 	learned := symptoms.NewDB()
 	if o.learnedPath != "" {
@@ -154,10 +228,10 @@ func runFleet(o fleetOpts) error {
 			}
 		}
 		spec.SymDB = full
-		fmt.Printf("diadsd: loaded %d learned entries from %s\n", len(learned.Entries()), o.learnedPath)
+		o.logger.Info("loaded learned entries", "count", len(learned.Entries()), "path", o.learnedPath)
 	}
-	fmt.Printf("diadsd: fleet of %d instances, shared pool %s misconfigured under the first %d\n",
-		o.instances, testbed.PoolP1, o.degraded)
+	o.logger.Info("fleet starting", "instances", o.instances,
+		"degraded", o.degraded, "shared_pool", string(testbed.PoolP1))
 	rep, onsets, err := experiments.RunFleetSpec(spec)
 	if err != nil {
 		return err
@@ -167,13 +241,10 @@ func runFleet(o fleetOpts) error {
 	fmt.Println(console.FleetPanel(rep))
 	fmt.Println(console.CandidatesPanel(rep.Learning))
 	if o.learnedPath != "" {
-		if err := saveLearned(o.learnedPath, learned, rep.Learning); err != nil {
+		if err := saveLearned(o.learnedPath, learned, rep.Learning, o.logger); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("apg cache %d/%d hits, sd cache %d/%d hits\n",
-		rep.Stats.APG.Hits, rep.Stats.APG.Hits+rep.Stats.APG.Misses,
-		rep.Stats.SD.Hits, rep.Stats.SD.Hits+rep.Stats.SD.Misses)
 	return nil
 }
 
@@ -196,7 +267,7 @@ func loadLearned(path string) (*symptoms.DB, error) {
 
 // saveLearned persists the union of previously-learned entries and this
 // run's validated installs back to the DSL file.
-func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats) error {
+func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats, logger *slog.Logger) error {
 	added := 0
 	for _, ie := range st.Installed {
 		if err := learned.Add(ie.Entry); err != nil {
@@ -208,11 +279,12 @@ func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats) error {
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("persisted %d learned entries (%d new) to %s\n", len(learned.Entries()), added, path)
+	logger.Info("persisted learned entries", "total", len(learned.Entries()), "new", added, "path", path)
 	return nil
 }
 
-func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet bool) error {
+func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet bool,
+	self *selfmon.SelfMonitor, logger *slog.Logger) error {
 	if reportEvery < 1 {
 		return fmt.Errorf("-report-every must be at least 1, got %d", reportEvery)
 	}
@@ -221,7 +293,8 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 		return err
 	}
 	tb, mon := env.Testbed, env.Monitor
-	fmt.Printf("diadsd: workload Q2/Q6/Q14, SAN misconfiguration scheduled at %s\n", env.Onset.Clock())
+	logger.Info("workload starting", "queries", "Q2/Q6/Q14",
+		"fault_onset", env.Onset.Clock())
 
 	watcher := monitor.NewWatcher(tb.Store, monitor.Config{MinRuns: 12, MinFactor: 1.3})
 	watcher.Watch(string(testbed.VolV1), metrics.VolReadTime)
@@ -232,6 +305,7 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 		Params: tb.Params, Stats: tb.Stats, Server: testbed.ServerDB,
 		SymDB: symptoms.Builtin(),
 	}, service.Config{Workers: workers})
+	svc.Self = self
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	svc.Start(ctx)
@@ -243,7 +317,9 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 			select {
 			case ev := <-mon.Events():
 				if !quiet {
-					fmt.Println("  event:", ev)
+					logger.Info("slowdown detected", "query", ev.Query,
+						"kind", string(ev.Kind), "factor", fmt.Sprintf("%.2f", ev.Factor),
+						"at", ev.At.Clock(), "trace", ev.TraceID)
 				}
 				gate.Add(ev)
 			default:
@@ -255,7 +331,7 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 					case nil, service.ErrDuplicate:
 					case service.ErrBackpressure:
 						if !quiet {
-							fmt.Println("  shed under backpressure:", ev.RunID)
+							logger.Warn("shed under backpressure", "run", ev.RunID, "trace", ev.TraceID)
 						}
 					default:
 						return err
@@ -263,7 +339,7 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 				}
 				for _, a := range watcher.Poll() {
 					if !quiet {
-						fmt.Println("  alert:", a)
+						logger.Info("metric alert", "alert", a.String())
 					}
 				}
 				chunks++
@@ -282,15 +358,6 @@ func run(seed int64, workers int, chunkMin float64, reportEvery, runs int, quiet
 	svc.Stop()
 
 	fmt.Printf("\n[final %s]\n%s\n", tb.Horizon.End.Clock(), svc.Registry().Render())
-	ms, ss := mon.Stats(), svc.Stats()
-	fmt.Printf("monitor: observed=%d events=%d dropped=%d queries=%d\n",
-		ms.Observed, ms.Events, ms.Dropped, ms.Queries)
-	fmt.Printf("service: %s\n", ss)
-	fmt.Println("per-module totals across all diagnoses:")
-	for _, st := range svc.ModuleStats() {
-		fmt.Printf("  %-6s runs=%-3d cache-hits=%-3d skipped=%-3d wall=%s\n",
-			st.Module, st.Runs, st.CacheHits, st.Skipped, st.Wall)
-	}
 
 	incs := svc.Registry().Incidents()
 	if len(incs) == 0 {

@@ -1,0 +1,107 @@
+// Command promcheck validates a Prometheus text exposition: it fetches
+// -url (or reads -file), runs the strict format validator, and then
+// checks that every -require metric-name prefix appears in at least one
+// sample. The CI smoke job points it at a live diadsd's /metrics so a
+// malformed exposition or a layer that silently stopped instrumenting
+// fails the build.
+//
+// Usage:
+//
+//	promcheck -url http://127.0.0.1:9090/metrics -require diads_monitor_,diads_service_
+//	promcheck -file metrics.txt -require diads_module_
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"diads/internal/telemetry"
+)
+
+func main() {
+	url := flag.String("url", "", "metrics endpoint to fetch")
+	file := flag.String("file", "", "exposition file to read instead of fetching")
+	require := flag.String("require", "", "comma-separated metric-name prefixes that must have samples")
+	timeout := flag.Duration("timeout", 10*time.Second, "fetch timeout")
+	flag.Parse()
+
+	data, err := load(*url, *file, *timeout)
+	if err != nil {
+		fail(err)
+	}
+	if err := telemetry.ValidateExposition(data); err != nil {
+		fail(err)
+	}
+	missing := missingPrefixes(data, *require)
+	if len(missing) > 0 {
+		fail(fmt.Errorf("no samples for required prefixes: %s", strings.Join(missing, ", ")))
+	}
+	fmt.Printf("promcheck: ok (%d bytes, %d sample lines)\n", len(data), sampleLines(data))
+}
+
+func load(url, file string, timeout time.Duration) ([]byte, error) {
+	switch {
+	case url != "" && file != "":
+		return nil, fmt.Errorf("use -url or -file, not both")
+	case url != "":
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	case file != "":
+		return os.ReadFile(file)
+	default:
+		return nil, fmt.Errorf("one of -url or -file is required")
+	}
+}
+
+// missingPrefixes returns the required prefixes with no sample line.
+func missingPrefixes(data []byte, require string) []string {
+	var missing []string
+	for _, p := range strings.Split(require, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		found := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if strings.HasPrefix(line, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, p)
+		}
+	}
+	return missing
+}
+
+func sampleLines(data []byte) int {
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

@@ -67,6 +67,13 @@ type Input struct {
 	// topologies diverge once faults are injected, so a cached APG from
 	// one instance must never satisfy another's diagnosis.
 	CacheScope string
+
+	// TraceID, when set, tags the diagnosis's pipeline trace and telemetry
+	// spans. The online service threads the triggering SlowdownEvent's
+	// deterministic trace ID here so one slowdown can be followed from
+	// detection through every module it ran. Purely observational: it
+	// never influences module results or report bytes.
+	TraceID string
 }
 
 // threshold returns the configured or default anomaly threshold.

@@ -114,6 +114,7 @@ func (w *Workflow) RunWith(ctx context.Context, cfg RunConfig) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	trace.TraceID = w.In.TraceID
 	w.bb = bb
 	fillResult(w.Res, bb)
 	w.Res.Trace = trace

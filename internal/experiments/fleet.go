@@ -131,6 +131,10 @@ type FleetSpec struct {
 	// pending (rendered in the report for a human to adopt by hand).
 	OperatorReview bool
 	AckKinds       []string
+	// SelfObserver, when non-nil, is threaded to the fleet's shared
+	// service so the dogfood loop can watch the run's own diagnosis
+	// latency.
+	SelfObserver service.SelfObserver
 }
 
 // RunFleetSpec builds the instances from the shared online-scenario
@@ -181,6 +185,7 @@ func RunFleetSpec(spec FleetSpec) (*fleet.Report, []simtime.Time, error) {
 		MaxStreams:     spec.MaxStreams,
 		Service:        service.Config{Workers: spec.Workers},
 		Learn:          learn,
+		SelfObserver:   spec.SelfObserver,
 	}, insts)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"diads/internal/telemetry"
+)
+
+// TestTelemetryOnOffParity pins the side-channel contract of the
+// telemetry layer: every rendered report must be byte-identical with
+// instruments and spans enabled (the default) and with the whole layer
+// switched off. If any instrument reading ever leaked into a diagnosis
+// or a report, the disabled run would differ — wall-clock histograms and
+// trace rings are the only state the layer owns, and none of it may flow
+// back.
+func TestTelemetryOnOffParity(t *testing.T) {
+	reg, tracer := telemetry.Default(), telemetry.DefaultTracer()
+	run := func(enabled bool) (string, string) {
+		reg.SetEnabled(enabled)
+		tracer.SetEnabled(enabled)
+		defer reg.SetEnabled(true)
+		defer tracer.SetEnabled(true)
+
+		on, err := Online(testSeed)
+		if err != nil {
+			t.Fatalf("online (telemetry=%v): %v", enabled, err)
+		}
+		rep, _, err := RunFleetSpec(FleetSpec{
+			Seed: testSeed, Instances: 3, Degraded: 2, Runs: 10,
+		})
+		if err != nil {
+			t.Fatalf("fleet (telemetry=%v): %v", enabled, err)
+		}
+		return on.Render(), rep.Render()
+	}
+
+	onlineOn, fleetOn := run(true)
+	onlineOff, fleetOff := run(false)
+	if onlineOn != onlineOff {
+		t.Errorf("online report differs with telemetry off\n--- on ---\n%s\n--- off ---\n%s",
+			onlineOn, onlineOff)
+	}
+	if fleetOn != fleetOff {
+		t.Errorf("fleet report differs with telemetry off\n--- on ---\n%s\n--- off ---\n%s",
+			fleetOn, fleetOff)
+	}
+}

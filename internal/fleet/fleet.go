@@ -32,7 +32,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"diads/internal/diag"
 	"diads/internal/exec"
@@ -40,6 +42,7 @@ import (
 	"diads/internal/service"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
+	"diads/internal/telemetry"
 	"diads/internal/testbed"
 )
 
@@ -81,6 +84,11 @@ type Config struct {
 	// infrastructure (the pool, its volumes, its disks). Incidents on
 	// these subjects from Shared instances group across the fleet.
 	SharedSubjects []string
+	// SelfObserver, when non-nil, receives every completed diagnosis's
+	// wall time from the shared service — the hook the dogfood loop
+	// (telemetry/selfmon) plugs into so the fleet's diagnoser watches its
+	// own latency.
+	SelfObserver service.SelfObserver
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -134,6 +142,8 @@ type Fleet struct {
 	mu    sync.Mutex // guards learn and instanceState.transfers
 	learn *learner
 
+	tel fleetTelemetry
+
 	// probed marks (instance, query) pairs whose quiet-window baseline
 	// has been captured into the healthy corpus. Coordinator-owned.
 	probed map[string]bool
@@ -183,7 +193,71 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 	}
 	f.svc.OnDiagnosis = f.onDiagnosis
 	f.svc.OnHealthy = f.onHealthy
+	f.svc.Self = cfg.SelfObserver
+	f.tel = newFleetTelemetry()
+	f.registerTelemetryFuncs()
 	return f, nil
+}
+
+// fleetTelemetry bundles the coordinator's instruments: wave and
+// learn-step latency, plus lifetime wave/event counters.
+type fleetTelemetry struct {
+	waves    *telemetry.Counter
+	released *telemetry.Counter
+	waveSec  *telemetry.Histogram
+	learnSec *telemetry.Histogram
+}
+
+func newFleetTelemetry() fleetTelemetry {
+	reg := telemetry.Default()
+	return fleetTelemetry{
+		waves: reg.Counter("diads_fleet_waves_total",
+			"Evidence-time waves the coordinator dispatched.", nil),
+		released: reg.Counter("diads_fleet_events_released_total",
+			"Slowdown events released through the gates into waves.", nil),
+		waveSec: reg.Histogram("diads_fleet_wave_seconds",
+			"Wall time of one evidence-time wave: submit, settle, probes, learn step.",
+			nil, nil),
+		learnSec: reg.Histogram("diads_fleet_learn_step_seconds",
+			"Wall time of one symptom-learning step between waves.",
+			nil, nil),
+	}
+}
+
+// registerTelemetryFuncs installs scrape-time callbacks over the
+// candidate lifecycle. The callbacks take the fleet mutex; the registry
+// invokes them outside its own lock, so scrapes never order against the
+// coordinator.
+func (f *Fleet) registerTelemetryFuncs() {
+	reg := telemetry.Default()
+	learnVal := func(read func(l *learner) float64) func() float64 {
+		return func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return read(f.learn)
+		}
+	}
+	reg.GaugeFunc("diads_fleet_candidates",
+		"Mined symptom candidates by lifecycle state.",
+		telemetry.Labels{"state": "pending"},
+		learnVal(func(l *learner) float64 { return float64(len(l.pending)) }))
+	reg.GaugeFunc("diads_fleet_candidates",
+		"Mined symptom candidates by lifecycle state.",
+		telemetry.Labels{"state": "installed"},
+		learnVal(func(l *learner) float64 { return float64(len(l.installed)) }))
+	reg.GaugeFunc("diads_fleet_candidates",
+		"Mined symptom candidates by lifecycle state.",
+		telemetry.Labels{"state": "rejected"},
+		learnVal(func(l *learner) float64 { return float64(len(l.rejectedList)) }))
+	reg.CounterFunc("diads_fleet_incidents_confirmed_total",
+		"Confirmed incidents fed to the symptom miner.",
+		nil, learnVal(func(l *learner) float64 { return float64(l.confirmed) }))
+	reg.CounterFunc("diads_fleet_transfers_total",
+		"Cross-instance symptom transfers (mined entry scored high on a non-author).",
+		nil, learnVal(func(l *learner) float64 { return float64(l.transfers) }))
+	reg.GaugeFunc("diads_fleet_healthy_corpus_size",
+		"Healthy-period fact bases available to the validator.",
+		nil, learnVal(func(l *learner) float64 { return float64(l.validator.HealthyCount()) }))
 }
 
 // envOf assembles an instance's diagnosis environment around the
@@ -392,6 +466,7 @@ func (f *Fleet) submitWaves(ctx context.Context, released []monitor.SlowdownEven
 		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {
 			j++
 		}
+		waveStart := time.Now()
 		for _, ev := range released[i:j] {
 			switch err := f.svc.Submit(ev); err {
 			case nil, service.ErrDuplicate:
@@ -405,6 +480,18 @@ func (f *Fleet) submitWaves(ctx context.Context, released []monitor.SlowdownEven
 		f.svc.Wait()
 		f.quietProbes(ctx, released[i:j])
 		f.learnStep()
+		waveWall := time.Since(waveStart)
+		f.tel.waves.Inc()
+		f.tel.released.Add(int64(j - i))
+		f.tel.waveSec.Observe(waveWall.Seconds())
+		telemetry.DefaultTracer().Record(telemetry.Span{
+			TraceID: "fleet", Name: "fleet.wave",
+			Start: waveStart, Duration: waveWall,
+			Attrs: []telemetry.Attr{
+				{Key: "events", Value: strconv.Itoa(j - i)},
+				{Key: "window_end", Value: released[i].ReadWindow.End.Clock()},
+			},
+		})
 		i = j
 	}
 	return nil

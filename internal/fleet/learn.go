@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"sort"
+	"time"
 
 	"diads/internal/diag"
 	"diads/internal/monitor"
@@ -362,10 +363,12 @@ func (f *Fleet) learnStep() {
 	if f.cfg.Learn.Disabled {
 		return
 	}
+	start := time.Now()
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.learn.observe(f.svc.Registry().Incidents())
 	f.learn.step()
+	f.mu.Unlock()
+	f.tel.learnSec.Observe(time.Since(start).Seconds())
 }
 
 // onHealthy receives healthy-period fact bases (low-confidence

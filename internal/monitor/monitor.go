@@ -17,6 +17,7 @@ import (
 	"diads/internal/exec"
 	"diads/internal/metrics"
 	"diads/internal/simtime"
+	"diads/internal/telemetry"
 )
 
 // EventKind classifies how a slowdown was detected.
@@ -38,6 +39,12 @@ type SlowdownEvent struct {
 	Query string
 	RunID string
 	Kind  EventKind
+	// TraceID identifies the event across the whole stack: the service
+	// tags its submit-outcome, queue-wait, and diagnosis spans with it,
+	// and the resulting pipeline trace carries it too. It is derived
+	// deterministically from the offending run (never random), so traces
+	// are stable per seed and reports stay byte-identical.
+	TraceID string
 	// Instance names the database instance the event came from. The
 	// monitor itself leaves it empty (it watches a single instance); the
 	// fleet layer tags events with the instance ID while fanning many
@@ -157,6 +164,35 @@ type Monitor struct {
 	states map[string]*queryState
 	events chan SlowdownEvent
 	stats  Stats
+	tel    monitorTelemetry
+}
+
+// monitorTelemetry holds the layer's shared instruments: every monitor
+// in the process (each fleet instance runs its own) increments the same
+// fleet-wide counters. Telemetry is a side channel — Stats stays the
+// per-monitor source of truth.
+type monitorTelemetry struct {
+	observed    *telemetry.Counter
+	threshold   *telemetry.Counter
+	changePoint *telemetry.Counter
+	dropped     *telemetry.Counter
+}
+
+func newMonitorTelemetry() monitorTelemetry {
+	reg := telemetry.Default()
+	events := func(kind EventKind) *telemetry.Counter {
+		return reg.Counter("diads_monitor_slowdown_events_total",
+			"Slowdown events emitted by run monitors, by detection kind.",
+			telemetry.Labels{"kind": string(kind)})
+	}
+	return monitorTelemetry{
+		observed: reg.Counter("diads_monitor_runs_observed_total",
+			"Completed query runs ingested by run monitors.", nil),
+		threshold:   events(KindThreshold),
+		changePoint: events(KindChangePoint),
+		dropped: reg.Counter("diads_monitor_events_dropped_total",
+			"Slowdown events lost to a full event channel.", nil),
+	}
 }
 
 // New returns a monitor with the given configuration.
@@ -166,6 +202,7 @@ func New(cfg Config) *Monitor {
 		cfg:    cfg,
 		states: make(map[string]*queryState),
 		events: make(chan SlowdownEvent, cfg.Buffer),
+		tel:    newMonitorTelemetry(),
 	}
 }
 
@@ -189,6 +226,7 @@ func (m *Monitor) Observe(rec *exec.RunRecord) {
 	if rec == nil {
 		return
 	}
+	m.tel.observed.Inc()
 	m.mu.Lock()
 	m.stats.Observed++
 	st := m.states[rec.Query]
@@ -235,9 +273,16 @@ func (m *Monitor) Observe(rec *exec.RunRecord) {
 	m.mu.Unlock()
 
 	if kind != "" {
+		switch kind {
+		case KindThreshold:
+			m.tel.threshold.Inc()
+		case KindChangePoint:
+			m.tel.changePoint.Inc()
+		}
 		select {
 		case m.events <- ev:
 		default:
+			m.tel.dropped.Inc()
 			m.mu.Lock()
 			m.stats.Dropped++
 			m.stats.Events--
@@ -319,9 +364,13 @@ func (m *Monitor) buildEvent(rec *exec.RunRecord, st *queryState, kind EventKind
 	}
 	window := simtime.NewInterval(winStart, rec.Stop)
 	return SlowdownEvent{
-		Query:        rec.Query,
-		RunID:        rec.RunID,
-		Kind:         kind,
+		Query: rec.Query,
+		RunID: rec.RunID,
+		Kind:  kind,
+		// Deterministic per (query, run, kind): the same seed always
+		// mints the same trace IDs, so span streams are comparable
+		// across runs and nothing downstream can pick up entropy.
+		TraceID:      fmt.Sprintf("%s/%s/%s", rec.Query, rec.RunID, kind),
 		At:           rec.Stop,
 		Duration:     simtime.Duration(dur),
 		Baseline:     simtime.Duration(mean),

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"diads/internal/telemetry"
 )
 
 // Blackboard is the shared result space of one pipeline run: each
@@ -152,8 +154,12 @@ type ModuleTrace struct {
 // as the workflow-timing panel.
 type Trace struct {
 	Pipeline string
-	Total    time.Duration
-	Modules  []ModuleTrace
+	// TraceID, when set, ties this run to the slowdown event it
+	// diagnoses: the monitor mints the ID, diag.Input carries it in, and
+	// the service records the run's module walls as spans under it.
+	TraceID string
+	Total   time.Duration
+	Modules []ModuleTrace
 }
 
 // Module returns the trace entry for the named module, or nil.
@@ -260,6 +266,24 @@ func (p *Pipeline) ModuleNames() []string {
 	return out
 }
 
+// observeModule records one module outcome into the process-wide
+// telemetry registry: a wall-time histogram and an outcome counter per
+// (pipeline, module). Recording at the engine means every execution path
+// — batch runs, interactive steps, silo baselines — lands in the same
+// series without per-driver bookkeeping. Pure side channel: nothing in
+// a Trace or a Result reads these instruments back.
+func observeModule(pipeline, module string, status Status, wall time.Duration) {
+	reg := telemetry.Default()
+	labels := telemetry.Labels{"pipeline": pipeline, "module": module}
+	reg.Histogram("diads_module_wall_seconds",
+		"Per-module wall time of diagnosis pipeline runs.", labels, nil).
+		Observe(wall.Seconds())
+	reg.Counter("diads_module_outcomes_total",
+		"Module outcomes (ran, hit, skipped, failed, not-run) per pipeline.",
+		telemetry.Labels{"pipeline": pipeline, "module": module, "status": string(status)}).
+		Inc()
+}
+
 // execOut is the outcome of executing (or cache-satisfying) one module.
 type execOut struct {
 	halt  bool
@@ -336,6 +360,7 @@ func (p *Pipeline) RunModule(ctx context.Context, name string, bb *Blackboard) (
 	switch {
 	case e.err != nil:
 		mt.Status, mt.Note = StatusFailed, e.err.Error()
+		observeModule(p.name, name, mt.Status, mt.Wall)
 		return mt, fmt.Errorf("pipeline %s: module %s: %w", p.name, name, e.err)
 	case e.cache == CacheHit:
 		mt.Status = StatusCacheHit
@@ -345,6 +370,7 @@ func (p *Pipeline) RunModule(ctx context.Context, name string, bb *Blackboard) (
 	if e.halt {
 		mt.Note = "short-circuit"
 	}
+	observeModule(p.name, name, mt.Status, mt.Wall)
 	return mt, nil
 }
 
@@ -448,6 +474,7 @@ func (p *Pipeline) Run(ctx context.Context, bb *Blackboard, opts Options) (*Trac
 			mt.Status = StatusRan
 			satisfied[m.Name] = true
 		}
+		observeModule(p.name, m.Name, mt.Status, mt.Wall)
 		if d.e.halt && d.e.err == nil && haltedBy == "" {
 			haltedBy = m.Name
 			mt.Note = "short-circuit"
@@ -459,6 +486,7 @@ func (p *Pipeline) Run(ctx context.Context, bb *Blackboard, opts Options) (*Trac
 			if !started[m.Name] {
 				trace.Modules[i].Status = StatusSkipped
 				trace.Modules[i].Note = "short-circuited by " + haltedBy
+				observeModule(p.name, m.Name, StatusSkipped, 0)
 			}
 		}
 	}

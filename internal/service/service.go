@@ -26,6 +26,7 @@ import (
 	"diads/internal/pipeline"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
+	"diads/internal/telemetry"
 	"diads/internal/topology"
 )
 
@@ -105,18 +106,26 @@ type jobKey struct {
 type job struct {
 	key jobKey
 	ev  monitor.SlowdownEvent
+	// enqueued is the wall-clock instant Submit placed the job on the
+	// queue; the dequeuing worker turns it into the queue-wait histogram
+	// and span. Observational only — simulation time is untouched.
+	enqueued time.Time
 }
 
-// Stats are the service's lifetime counters.
+// Stats is the service's typed lifetime snapshot: counters, cache
+// effectiveness, and the instantaneous queue depth. It is the one
+// structure both the console summary and the /metrics exposition are
+// derived from.
 type Stats struct {
-	Submitted int64 // Submit calls
-	Deduped   int64 // suppressed as queued/running/cached duplicates
-	Rejected  int64 // shed under backpressure
-	Completed int64 // diagnoses finished
-	Failed    int64 // diagnoses that returned an error
-	APG       cache.CacheStats
-	SD        cache.CacheStats
-	Results   cache.CacheStats
+	Submitted  int64 // Submit calls
+	Deduped    int64 // suppressed as queued/running/cached duplicates
+	Rejected   int64 // shed under backpressure
+	Completed  int64 // diagnoses finished
+	Failed     int64 // diagnoses that returned an error
+	QueueDepth int   // jobs currently waiting in the queue
+	APG        cache.CacheStats
+	SD         cache.CacheStats
+	Results    cache.CacheStats
 }
 
 // String implements fmt.Stringer.
@@ -125,6 +134,50 @@ func (s Stats) String() string {
 		"submitted=%d deduped=%d rejected=%d completed=%d failed=%d apg-cache=%d/%d sd-cache=%d/%d",
 		s.Submitted, s.Deduped, s.Rejected, s.Completed, s.Failed,
 		s.APG.Hits, s.APG.Hits+s.APG.Misses, s.SD.Hits, s.SD.Hits+s.SD.Misses)
+}
+
+// SelfObserver receives the wall time of every completed diagnosis.
+// The dogfood loop (telemetry/selfmon) implements it: diadsd's own
+// per-diagnosis latencies become a monitored workload, watched by its
+// own monitor, so the diagnoser can raise a SlowdownEvent about itself.
+type SelfObserver interface {
+	ObserveDiagnosis(query string, wall time.Duration)
+}
+
+// serviceTelemetry bundles the service's shared instruments. Every
+// service in the process (one per fleet in fleet mode) increments the
+// same families on the default registry, so /metrics aggregates the
+// whole process.
+type serviceTelemetry struct {
+	submitted *telemetry.Counter
+	deduped   *telemetry.Counter
+	rejected  *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	queueWait *telemetry.Histogram
+	diagWall  *telemetry.Histogram
+}
+
+func newServiceTelemetry() serviceTelemetry {
+	reg := telemetry.Default()
+	outcomes := func(outcome string) *telemetry.Counter {
+		return reg.Counter("diads_service_jobs_total",
+			"Diagnosis jobs by submit/run outcome.",
+			telemetry.Labels{"outcome": outcome})
+	}
+	return serviceTelemetry{
+		submitted: outcomes("submitted"),
+		deduped:   outcomes("deduped"),
+		rejected:  outcomes("rejected"),
+		completed: outcomes("completed"),
+		failed:    outcomes("failed"),
+		queueWait: reg.Histogram("diads_service_queue_wait_seconds",
+			"Wall time a job spent queued between Submit and worker dequeue.",
+			nil, nil),
+		diagWall: reg.Histogram("diads_service_diagnosis_wall_seconds",
+			"Wall time of one complete diagnosis workflow.",
+			nil, nil),
+	}
 }
 
 // Service is the concurrent diagnosis engine. Construct with New, Start
@@ -152,6 +205,11 @@ type Service struct {
 	// goroutines; set it before Start.
 	OnHealthy func(ev monitor.SlowdownEvent, facts *symptoms.FactBase)
 
+	// Self, when non-nil, observes every completed diagnosis's wall time
+	// (called from worker goroutines). The dogfood loop hangs off it. Set
+	// it before Start.
+	Self SelfObserver
+
 	jobs    chan job
 	quit    chan struct{} // closed by Stop; retires the ctx watcher
 	mu      sync.Mutex
@@ -170,6 +228,8 @@ type Service struct {
 
 	wg sync.WaitGroup
 
+	tel serviceTelemetry
+
 	submitted, deduped, rejected, completed, failed atomic.Int64
 }
 
@@ -187,9 +247,41 @@ func New(env Env, cfg Config) *Service {
 		results:  cache.New[jobKey, *diag.Result](cfg.ResultCacheSize),
 		reg:      NewRegistry(),
 		modstats: make(map[string]*ModuleStat),
+		tel:      newServiceTelemetry(),
 	}
 	s.idle.L = &s.mu
+	s.registerFuncs()
 	return s
+}
+
+// registerFuncs installs the scrape-time callbacks: instantaneous queue
+// depth and the shared caches' lifetime hit/miss/eviction totals (the
+// counters PR 4 dropped from OnlineResult.Render re-surface here).
+// Re-registering replaces the callback, so the newest service owns the
+// series — tests and restarting daemons construct many services.
+func (s *Service) registerFuncs() {
+	reg := telemetry.Default()
+	reg.GaugeFunc("diads_service_queue_depth",
+		"Diagnosis jobs currently waiting in the queue.",
+		nil, func() float64 { return float64(len(s.jobs)) })
+	caches := map[string]func() cache.CacheStats{
+		"apg":    s.apgs.Stats,
+		"sd":     s.sd.Stats,
+		"result": s.results.Stats,
+	}
+	for name, statsOf := range caches {
+		labels := telemetry.Labels{"cache": name}
+		statsOf := statsOf
+		reg.CounterFunc("diads_cache_hits_total",
+			"Shared diagnosis-cache hits.", labels,
+			func() float64 { return float64(statsOf().Hits) })
+		reg.CounterFunc("diads_cache_misses_total",
+			"Shared diagnosis-cache misses.", labels,
+			func() float64 { return float64(statsOf().Misses) })
+		reg.CounterFunc("diads_cache_evictions_total",
+			"Shared diagnosis-cache evictions.", labels,
+			func() float64 { return float64(statsOf().Evictions) })
+	}
 }
 
 // AddInstance registers a per-instance diagnosis environment: events
@@ -218,14 +310,15 @@ func (s *Service) Registry() *Registry { return s.reg }
 // Stats returns the lifetime counters, including cache effectiveness.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Submitted: s.submitted.Load(),
-		Deduped:   s.deduped.Load(),
-		Rejected:  s.rejected.Load(),
-		Completed: s.completed.Load(),
-		Failed:    s.failed.Load(),
-		APG:       s.apgs.Stats(),
-		SD:        s.sd.Stats(),
-		Results:   s.results.Stats(),
+		Submitted:  s.submitted.Load(),
+		Deduped:    s.deduped.Load(),
+		Rejected:   s.rejected.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		QueueDepth: len(s.jobs),
+		APG:        s.apgs.Stats(),
+		SD:         s.sd.Stats(),
+		Results:    s.results.Stats(),
 	}
 }
 
@@ -289,6 +382,7 @@ func (s *Service) Wait() {
 // recurrence when a cached result exists).
 func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	s.submitted.Add(1)
+	s.tel.submitted.Inc()
 	key := jobKey{instance: ev.Instance, query: ev.Query, window: ev.ReadWindow}
 
 	s.mu.Lock()
@@ -299,11 +393,15 @@ func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	if s.pending[key] {
 		s.mu.Unlock()
 		s.deduped.Add(1)
+		s.tel.deduped.Inc()
+		s.span(ev.TraceID, "service.submit", attr("outcome", "deduped-pending"))
 		return ErrDuplicate
 	}
 	if res, ok := s.results.Get(key); ok {
 		s.mu.Unlock()
 		s.deduped.Add(1)
+		s.tel.deduped.Inc()
+		s.span(ev.TraceID, "service.submit", attr("outcome", "deduped-cached"))
 		s.reg.Record(ev, res) // recurrence of a known incident
 		return ErrDuplicate
 	}
@@ -311,16 +409,28 @@ func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	// close of the channel: Stop flips stopped before closing, and
 	// every Submit re-checks stopped under the same lock.
 	select {
-	case s.jobs <- job{key: key, ev: ev}:
+	case s.jobs <- job{key: key, ev: ev, enqueued: time.Now()}:
 		s.pending[key] = true
 		s.mu.Unlock()
+		s.span(ev.TraceID, "service.submit", attr("outcome", "enqueued"))
 		return nil
 	default:
 		s.mu.Unlock()
 		s.rejected.Add(1)
+		s.tel.rejected.Inc()
+		s.span(ev.TraceID, "service.submit", attr("outcome", "rejected"))
 		return ErrBackpressure
 	}
 }
+
+// span records a zero-duration marker span on the default tracer.
+func (s *Service) span(traceID, name string, attrs ...telemetry.Attr) {
+	telemetry.DefaultTracer().Record(telemetry.Span{
+		TraceID: traceID, Name: name, Start: time.Now(), Attrs: attrs,
+	})
+}
+
+func attr(k, v string) telemetry.Attr { return telemetry.Attr{Key: k, Value: v} }
 
 // worker drains the queue until shutdown.
 func (s *Service) worker(ctx context.Context) {
@@ -347,9 +457,17 @@ func (s *Service) run(ctx context.Context, j job) {
 		s.mu.Unlock()
 	}()
 
+	wait := time.Since(j.enqueued)
+	s.tel.queueWait.Observe(wait.Seconds())
+	telemetry.DefaultTracer().Record(telemetry.Span{
+		TraceID: j.ev.TraceID, Name: "service.queue_wait",
+		Start: j.enqueued, Duration: wait,
+	})
+
 	env, ok := s.envFor(j.ev.Instance)
 	if !ok {
 		s.failed.Add(1)
+		s.tel.failed.Inc()
 		return
 	}
 	in := &diag.Input{
@@ -368,16 +486,28 @@ func (s *Service) run(ctx context.Context, j job) {
 		APGCache:     s.apgs,
 		SDCache:      s.sd,
 		CacheScope:   j.ev.Instance,
+		TraceID:      j.ev.TraceID,
 	}
+	diagSpan := telemetry.DefaultTracer().Start(j.ev.TraceID, "service.diagnose")
 	res, err := diag.DiagnoseContext(ctx, in)
 	if err != nil {
+		diagSpan.End(attr("outcome", "failed"), attr("error", err.Error()))
 		s.failed.Add(1)
+		s.tel.failed.Inc()
 		return
 	}
+	wall := time.Since(diagSpan.StartedAt())
+	diagSpan.End(attr("outcome", "completed"), attr("query", j.ev.Query))
+	s.tel.diagWall.Observe(wall.Seconds())
+	s.spanModules(j.ev.TraceID, res.Trace)
 	s.recordTrace(res.Trace)
 	s.results.Put(j.key, res)
 	s.reg.Record(j.ev, res)
 	s.completed.Add(1)
+	s.tel.completed.Inc()
+	if s.Self != nil {
+		s.Self.ObserveDiagnosis(j.ev.Query, wall)
+	}
 	if s.OnDiagnosis != nil {
 		s.OnDiagnosis(j.ev, res)
 	}
@@ -385,6 +515,22 @@ func (s *Service) run(ctx context.Context, j job) {
 		if kind, _, _, _ := topCauseOf(res); kind == "" {
 			s.OnHealthy(j.ev, res.Facts)
 		}
+	}
+}
+
+// spanModules turns the workflow's per-module trace into spans under the
+// event's trace ID, so /traces shows detection, queueing, and every
+// module of the resulting diagnosis as one story.
+func (s *Service) spanModules(traceID string, t *pipeline.Trace) {
+	if t == nil {
+		return
+	}
+	for _, mt := range t.Modules {
+		telemetry.DefaultTracer().Record(telemetry.Span{
+			TraceID: traceID, Name: "module." + mt.Module,
+			Start: time.Now(), Duration: mt.Wall,
+			Attrs: []telemetry.Attr{{Key: "status", Value: string(mt.Status)}},
+		})
 	}
 }
 

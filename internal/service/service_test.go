@@ -12,6 +12,7 @@ import (
 	"diads/internal/monitor"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
+	"diads/internal/telemetry"
 	"diads/internal/testbed"
 	"diads/internal/workload"
 )
@@ -482,3 +483,75 @@ func TestRegistryRanksByEstimatedImpact(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceIDThreadsDetectionToDiagnosis pins the observability story:
+// the monitor's deterministic trace ID rides the event into the service,
+// comes out on the diagnosis's pipeline trace, and ties together the
+// queue-wait, diagnosis, and per-module spans on the default tracer. It
+// also covers the typed Stats snapshot (queue depth included) and the
+// self-observer hook.
+func TestTraceIDThreadsDetectionToDiagnosis(t *testing.T) {
+	env, evs := slowdownRig(t, 42)
+	ev := evs[0]
+	if ev.TraceID == "" {
+		t.Fatal("monitor emitted an event without a trace ID")
+	}
+	if want := ev.Query + "/" + ev.RunID + "/" + string(ev.Kind); ev.TraceID != want {
+		t.Errorf("trace ID = %q, want deterministic %q", ev.TraceID, want)
+	}
+
+	var observed []time.Duration
+	var obsMu sync.Mutex
+	svc := New(env, Config{Workers: 1})
+	svc.Self = selfObserverFunc(func(query string, wall time.Duration) {
+		obsMu.Lock()
+		observed = append(observed, wall)
+		obsMu.Unlock()
+		if query != ev.Query {
+			t.Errorf("self observer saw query %q, want %q", query, ev.Query)
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+	if err := svc.Submit(ev); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	svc.Wait()
+	svc.Stop()
+
+	st := svc.Stats()
+	if st.Completed != 1 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want 1 completed, empty queue", st)
+	}
+	obsMu.Lock()
+	n := len(observed)
+	obsMu.Unlock()
+	if n != 1 {
+		t.Fatalf("self observer saw %d diagnoses, want 1", n)
+	}
+
+	incs := svc.Registry().Incidents()
+	if len(incs) == 0 || incs[0].Trace == nil {
+		t.Fatal("no incident trace")
+	}
+	if incs[0].Trace.TraceID != ev.TraceID {
+		t.Errorf("pipeline trace ID = %q, want %q", incs[0].Trace.TraceID, ev.TraceID)
+	}
+
+	spans := telemetry.DefaultTracer().Trace(ev.TraceID)
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"service.submit", "service.queue_wait", "service.diagnose", "module.pd", "module.ia"} {
+		if !names[want] {
+			t.Errorf("trace %s missing span %s (got %v)", ev.TraceID, want, names)
+		}
+	}
+}
+
+// selfObserverFunc adapts a function to the SelfObserver interface.
+type selfObserverFunc func(query string, wall time.Duration)
+
+func (f selfObserverFunc) ObserveDiagnosis(query string, wall time.Duration) { f(query, wall) }

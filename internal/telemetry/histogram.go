@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds, in seconds: they span the
+// sub-millisecond module walls of a cached diagnosis up to multi-second
+// fleet waves.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Writes are lock-free atomics; Snapshot assembles
+// a consistent-enough view for scraping (bucket counts and the total may
+// momentarily disagree by in-flight observations, which the exposition
+// tolerates by rendering the +Inf bucket as the total).
+type Histogram struct {
+	enabled *atomic.Bool
+	bounds  []float64      // sorted upper bounds, +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(enabled *atomic.Bool, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		enabled: enabled,
+		bounds:  bounds,
+		counts:  make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.enabled.Load() {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return bitsFloat(h.sumBits.Load())
+}
+
+// Snapshot captures the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    bitsFloat(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts, with the final entry counting observations
+// above the last bound.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding the target rank. Values in the overflow
+// bucket are attributed to the last finite bound — the estimate is a
+// floor there, which is the standard fixed-bucket trade-off. Returns 0
+// with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if c == 0 {
+			return upper
+		}
+		frac := (target - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lower + (upper-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemon's structured event logger: JSON for
+// machine consumption (one event per line, ready for a log pipeline) or
+// a compact text form for a human console. The text form drops the
+// timestamp attribute — the simulation carries its own clock and the
+// console reads better without a wall-clock prefix; JSON keeps it.
+func NewLogger(w io.Writer, jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(_ []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h)
+}

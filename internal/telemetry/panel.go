@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSnapshot formats a registry snapshot for the console — the same
+// data /metrics serves, rendered for a human. cmd/diadsd prints it at
+// the end of a run instead of hand-assembled printf blocks, so the
+// console summary and the scrape surface can never drift: both are pure
+// functions of one Snapshot.
+func RenderSnapshot(snaps []MetricSnapshot) string {
+	var b strings.Builder
+	b.WriteString("telemetry snapshot\n")
+	b.WriteString(strings.Repeat("-", 78) + "\n")
+	if len(snaps) == 0 {
+		b.WriteString("  no metrics registered\n")
+		return b.String()
+	}
+	for _, ms := range snaps {
+		for _, ss := range ms.Series {
+			name := ms.Name
+			if block := labelBlock(ss.Labels, "", ""); block != "" {
+				name += block
+			}
+			if ss.Hist != nil {
+				h := ss.Hist
+				fmt.Fprintf(&b, "  %-9s %-58s count=%d sum=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs\n",
+					ms.Kind, name, h.Count, h.Sum,
+					h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+				continue
+			}
+			fmt.Fprintf(&b, "  %-9s %-58s %s\n", ms.Kind, name, formatValue(ss.Value))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package selfmon
+
+import (
+	"testing"
+	"time"
+
+	"diads/internal/monitor"
+)
+
+// TestDogfoodRaisesSlowdownEvent pins the loop the package exists for:
+// steady diagnosis latency establishes a baseline, one inflated
+// diagnosis raises an ordinary SlowdownEvent about diadsd itself.
+func TestDogfoodRaisesSlowdownEvent(t *testing.T) {
+	sm := New(Config{})
+	for i := 0; i < 10; i++ {
+		sm.ObserveDiagnosis("Q2", 10*time.Millisecond)
+	}
+	if evs := sm.Drain(); len(evs) != 0 {
+		t.Fatalf("steady latency raised %d events, want 0: %v", len(evs), evs)
+	}
+
+	sm.ObserveDiagnosis("Q2", 200*time.Millisecond)
+	evs := sm.Drain()
+	if len(evs) != 1 {
+		t.Fatalf("inflated latency raised %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Query != "self:Q2" {
+		t.Errorf("event query = %q, want self:Q2", ev.Query)
+	}
+	if ev.Kind != monitor.KindThreshold {
+		t.Errorf("event kind = %q, want %q", ev.Kind, monitor.KindThreshold)
+	}
+	if ev.Factor < 2 {
+		t.Errorf("event factor = %.2f, want a clear inflation (>= 2)", ev.Factor)
+	}
+	if ev.TraceID == "" {
+		t.Error("event has no trace ID")
+	}
+
+	if st := sm.Stats(); st.Observed != 11 || st.Events != 1 {
+		t.Errorf("self-monitor stats = %+v, want 11 observed / 1 event", st)
+	}
+}
+
+// TestSelfStoreSeries pins the metrics side of the loop: every
+// observation lands in the self store's wall-time series in time order.
+func TestSelfStoreSeries(t *testing.T) {
+	sm := New(Config{})
+	walls := []time.Duration{
+		5 * time.Millisecond, 7 * time.Millisecond, 300 * time.Millisecond,
+	}
+	for _, w := range walls {
+		sm.ObserveDiagnosis("Q7", w)
+	}
+	samples := sm.Store().Series(SelfComponent, SelfMetric)
+	if len(samples) != len(walls) {
+		t.Fatalf("store has %d samples, want %d", len(samples), len(walls))
+	}
+	for i, s := range samples {
+		if want := walls[i].Seconds(); s.V != want {
+			t.Errorf("sample %d = %v, want %v", i, s.V, want)
+		}
+		if i > 0 && s.T <= samples[i-1].T {
+			t.Errorf("sample %d out of time order: %v after %v", i, s.T, samples[i-1].T)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server is the daemon's scrape surface: /metrics in Prometheus text
+// format, /healthz, /traces (recent spans as JSON), and the standard
+// /debug/pprof profiles — all on one small listener that lives beside
+// the simulation without touching it.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	srv    *http.Server
+	ln     net.Listener
+	start  time.Time
+}
+
+// NewServer assembles a server over the registry and tracer (nil means
+// the package defaults).
+func NewServer(addr string, reg *Registry, tracer *Tracer) *Server {
+	if reg == nil {
+		reg = Default()
+	}
+	if tracer == nil {
+		tracer = DefaultTracer()
+	}
+	s := &Server{reg: reg, tracer: tracer, start: time.Now()}
+	s.srv = &http.Server{
+		Addr:         addr,
+		Handler:      s.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 70 * time.Second, // pprof profiles block up to their ?seconds
+	}
+	return s
+}
+
+// Handler returns the route mux (tests drive it via httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds the listener and serves in the background, returning the
+// bound address (useful with a ":0" port).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.srv.Addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", s.srv.Addr, err)
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(s.reg.Exposition())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	var spans []Span
+	if id := r.URL.Query().Get("trace"); id != "" {
+		spans = s.tracer.Trace(id)
+	} else {
+		spans = s.tracer.Recent(n)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"total_recorded": s.tracer.Total(),
+		"spans":          spans,
+	})
+}

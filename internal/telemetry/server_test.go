@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerEndpoints drives the scrape surface through httptest:
+// /metrics must serve valid exposition with the right content type,
+// /healthz must answer ok, /traces must serve the span ring with its
+// filters, and the pprof index must exist.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("diads_up_total", "h", nil).Inc()
+	tr := NewTracer(8)
+	tr.Record(Span{TraceID: "q/r/threshold", Name: "service.submit"})
+	tr.Record(Span{TraceID: "other", Name: "module.pd"})
+
+	ts := httptest.NewServer(NewServer("unused", reg, tr).Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, b.String()
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if err := ValidateExposition([]byte(body)); err != nil {
+		t.Errorf("/metrics serves invalid exposition: %v", err)
+	}
+	if !strings.Contains(body, "diads_up_total 1") {
+		t.Errorf("/metrics missing the registered counter:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
+		t.Errorf("/healthz body = %q (err %v)", body, err)
+	}
+
+	_, body = get("/traces")
+	var traces struct {
+		Total int64  `json:"total_recorded"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces body not JSON: %v\n%s", err, body)
+	}
+	if traces.Total != 2 || len(traces.Spans) != 2 {
+		t.Errorf("/traces = %d total / %d spans, want 2/2", traces.Total, len(traces.Spans))
+	}
+
+	_, body = get("/traces?trace=other")
+	if err := json.Unmarshal([]byte(body), &traces); err != nil || len(traces.Spans) != 1 {
+		t.Errorf("/traces?trace=other returned %d spans, want 1 (err %v)", len(traces.Spans), err)
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
