@@ -5,6 +5,8 @@ package diads_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"diads"
@@ -58,28 +60,66 @@ func BenchmarkOnline_WindowStats(b *testing.B) {
 	}
 }
 
-// BenchmarkFleet_Throughput sweeps fleet size against service worker
-// count: each iteration streams a whole fleet (staggered instances, the
-// shared-pool misconfiguration under 3/4 of them, learning loop on)
-// through the barrier-synchronized coordinator. The instances axis
-// scales simulation and diagnosis load together; the workers axis shows
-// how far the shared worker pool absorbs it.
+// BenchmarkFleet_Throughput sweeps the fleet along two axes. The small
+// axis (inst × workers) streams 2–8 instances through one service and
+// shows how far a shard's worker pool absorbs diagnosis load. The scale
+// axis (inst=100 × shards) is the tentpole measurement. On a single
+// CPU the curve across shard counts should be flat: after the sanperf
+// pool-demand hoist and the emission memo flattened the per-instance
+// simulation cost, the remaining 100-instance work is linear and
+// per-instance, so shards can neither divide it nor — and this is what
+// the sweep guards — add coordination overhead on top. Shard division
+// pays on multi-core hardware, where per-shard coordinators and
+// worker pools parallelize; at 1000 instances the single-core cost is
+// dominated by the resident fleet's heap, flat across shards. The scale
+// axis is opt-in (whole fleets per iteration are expensive):
+// DIADS_BENCH_FLEET=100 enables it, DIADS_BENCH_FLEET=1000 adds the
+// 1000-instance sweep (minutes per iteration; never part of CI smoke).
 func BenchmarkFleet_Throughput(b *testing.B) {
+	runFleet := func(b *testing.B, spec experiments.FleetSpec) {
+		// Each iteration builds and drains a whole fleet, so a sub-bench
+		// inherits whatever heap the previous one grew. Collect before
+		// timing so every (inst, shards) point starts from the same
+		// allocator state instead of paying its predecessor's cleanup.
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, _, err := experiments.RunFleetSpec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Stats.Completed == 0 || rep.Stats.Failed != 0 {
+				b.Fatalf("fleet idle or failing: %+v", rep.Stats)
+			}
+		}
+	}
 	for _, inst := range []int{2, 4, 8} {
 		for _, workers := range []int{1, 4} {
 			b.Run(fmt.Sprintf("inst=%d/workers=%d", inst, workers), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					rep, _, err := experiments.RunFleetSpec(experiments.FleetSpec{
-						Seed: 42, Instances: inst, Degraded: 3 * inst / 4,
-						Runs: 12, Workers: workers,
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					if rep.Stats.Completed == 0 || rep.Stats.Failed != 0 {
-						b.Fatalf("fleet idle or failing: %+v", rep.Stats)
-					}
-				}
+				runFleet(b, experiments.FleetSpec{
+					Seed: 42, Instances: inst, Degraded: 3 * inst / 4,
+					Runs: 12, Workers: workers,
+				})
+			})
+		}
+	}
+	var scale []int
+	switch os.Getenv("DIADS_BENCH_FLEET") {
+	case "100":
+		scale = []int{100}
+	case "1000":
+		scale = []int{100, 1000}
+	}
+	for _, inst := range scale {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("inst=%d/shards=%d", inst, shards), func(b *testing.B) {
+				runFleet(b, experiments.FleetSpec{
+					Seed: 42, Instances: inst, Degraded: 3 * inst / 4,
+					Runs: 12, Shards: shards,
+					// Cap concurrent simulations to bound memory; the
+					// barrier protocol makes the cap invisible in results.
+					MaxStreams: 16,
+				})
 			})
 		}
 	}

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkFleet_Throughput -benchtime 1x . | benchjson -o BENCH_fleet.json
+//	go test -run '^$' -bench BenchmarkFleet_Throughput -benchtime 3x . | benchjson -o BENCH_fleet.json
+//
+// Single-iteration results are refused by default: one iteration of a
+// seeded end-to-end benchmark measures one sample of a noisy process,
+// and persisting it as the artifact invites phantom regressions. Run
+// with -benchtime 3x or higher, or pass -allow-single to override
+// (smoke tests only).
 package main
 
 import (
@@ -38,6 +44,8 @@ type Document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	allowSingle := flag.Bool("allow-single", false,
+		"accept 1-iteration results instead of refusing them")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -46,6 +54,18 @@ func main() {
 	}
 	if len(doc.Results) == 0 {
 		fail(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if !*allowSingle {
+		var single []string
+		for _, r := range doc.Results {
+			if r.Iterations <= 1 {
+				single = append(single, r.Name)
+			}
+		}
+		if len(single) > 0 {
+			fail(fmt.Errorf("refusing 1-iteration results (run with -benchtime 3x or higher, or pass -allow-single): %s",
+				strings.Join(single, ", ")))
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -71,6 +71,7 @@ func main() {
 	reportEvery := flag.Int("report-every", 4, "print the incident report every N chunks")
 	runs := flag.Int("runs", 16, "Q2 runs to schedule (other queries scale along)")
 	instances := flag.Int("instances", 1, "fleet size; above 1 streams a multi-instance fleet")
+	shards := flag.Int("shards", 1, "fleet coordinator shards (results are shard-count invariant)")
 	degraded := flag.Int("degraded", 0, "instances on the misconfigured shared pool (default 3/4 of the fleet)")
 	review := flag.Bool("review", false, "hold validated candidates for operator review instead of auto-accepting")
 	ack := flag.String("ack", "", "comma-separated mined kinds the operator accepts (implies -review)")
@@ -135,12 +136,12 @@ func main() {
 		}
 		err = runFleet(fleetOpts{
 			seed: *seed, instances: *instances, degraded: *degraded,
-			workers: *workers, runs: *runs, chunk: chunk,
+			workers: *workers, runs: *runs, chunk: chunk, shards: *shards,
 			review: *review, ackKinds: ackKinds, learnedPath: *learned,
 			self: self, logger: logger,
 		})
 	} else {
-		for _, unsupported := range []string{"review", "ack", "learned"} {
+		for _, unsupported := range []string{"review", "ack", "learned", "shards"} {
 			if set[unsupported] {
 				fmt.Fprintf(os.Stderr, "diadsd: -%s needs the fleet's learning loop (-instances > 1)\n", unsupported)
 				os.Exit(2)
@@ -187,6 +188,7 @@ type fleetOpts struct {
 	seed                int64
 	instances, degraded int
 	workers, runs       int
+	shards              int
 	chunk               simtime.Duration
 	review              bool
 	ackKinds            []string
@@ -210,7 +212,7 @@ func runFleet(o fleetOpts) error {
 	}
 	spec := experiments.FleetSpec{
 		Seed: o.seed, Instances: o.instances, Degraded: o.degraded,
-		Runs: o.runs, Chunk: o.chunk, Workers: o.workers,
+		Runs: o.runs, Chunk: o.chunk, Workers: o.workers, Shards: o.shards,
 		OperatorReview: o.review, AckKinds: o.ackKinds,
 		SelfObserver: o.self,
 	}

@@ -131,12 +131,13 @@ type (
 	// OnlineResult is the outcome of the end-to-end online scenario.
 	OnlineResult = experiments.OnlineResult
 
-	// Fleet streams many instances concurrently through one shared
-	// diagnosis service with cross-instance incident grouping and
-	// symptom learning.
+	// Fleet streams many instances concurrently through per-shard
+	// diagnosis services with cross-instance incident grouping and
+	// epoch-sealed symptom learning; reports are byte-identical across
+	// shard counts.
 	Fleet = fleet.Fleet
 	// FleetConfig tunes a fleet (shared symptoms DB, chunking,
-	// concurrency, learning loop).
+	// concurrency, shard count, learning loop).
 	FleetConfig = fleet.Config
 	// FleetInstance is one database+SAN deployment a fleet streams.
 	FleetInstance = fleet.Instance

@@ -114,9 +114,13 @@ type FleetSpec struct {
 	// fleet default of 10 minutes).
 	Chunk simtime.Duration
 	// MaxStreams caps concurrently-simulating instances (0 = all);
-	// Workers sizes the shared service's pool (0 = service default).
+	// Workers sizes each shard service's pool (0 = service default).
 	MaxStreams int
 	Workers    int
+	// Shards partitions the instances into independent
+	// coordinator+service shards (0 = 1). Like MaxStreams and Workers,
+	// sharding must never change results — only wall time.
+	Shards int
 	// LearnOff disables the symptom-learning loop.
 	LearnOff bool
 	// SymDB overrides the fleet-shared symptoms database (nil =
@@ -183,6 +187,7 @@ func RunFleetSpec(spec FleetSpec) (*fleet.Report, []simtime.Time, error) {
 		SharedSubjects: fleetSharedSubjects(),
 		Chunk:          spec.Chunk,
 		MaxStreams:     spec.MaxStreams,
+		Shards:         spec.Shards,
 		Service:        service.Config{Workers: spec.Workers},
 		Learn:          learn,
 		SelfObserver:   spec.SelfObserver,

@@ -4,19 +4,27 @@
 // diagnosis knowledge amortized across deployments.
 //
 // A Fleet streams N independent testbed instances concurrently, each on
-// its own seed and timeline. Instances synchronize at chunk boundaries:
-// between barriers they simulate in parallel, and at each barrier a
-// single coordinator drains every monitor's slowdown events, releases
-// the ones whose evidence read windows the metric watermark covers, and
-// fans them into one shared service.Service (instance-tagged job keys,
-// per-instance diagnosis environments, instance-scoped caches) in
+// its own seed and timeline, partitioned into shards by instance hash.
+// Each shard has its own coordinator goroutine and its own
+// service.Service (worker pool, dedup stripes, impact registry,
+// instance-scoped APG/SD caches): a shard's instances synchronize at
+// chunk boundaries, and at each barrier the shard's coordinator drains
+// its monitors' slowdown events, releases the ones whose evidence read
+// windows the metric watermark covers, and diagnoses them in
 // evidence-time waves — sorted by read-window end, with the worker pool
-// settled and the symptom-learning step run between waves. Because every
-// cross-instance interaction happens in that deterministic coordinator —
-// never in the concurrently simulating instances — and because the wave
-// order depends only on the event stream, a fleet run is byte-identical
-// per seed regardless of MaxStreams, service worker count, or simulation
-// chunk size, and diagnosis never races metric emission: instances are
+// settled between waves. Shards share nothing on that hot path; they
+// meet only at the symptom-learning exchange, where healthy-corpus and
+// confirmed-incident contributions fold into the central learner at
+// deterministic evidence-time epoch seals (see exchange.go), and at the
+// end-of-run merge, which concatenates the per-shard registries into
+// one fleet-wide ranking.
+//
+// Because diagnosis state is instance-scoped throughout, because every
+// cross-instance learning effect happens at an epoch seal ordered by
+// evidence time alone, and because the wave order depends only on the
+// event stream, a fleet run is byte-identical per seed regardless of
+// MaxStreams, service worker count, simulation chunk size, or shard
+// count — and diagnosis never races metric emission: instances are
 // parked while their events are diagnosed.
 //
 // The fold back up is the fleet incident view: registry incidents whose
@@ -30,11 +38,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"strconv"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"diads/internal/diag"
 	"diads/internal/exec"
@@ -68,10 +74,16 @@ type Config struct {
 	// Chunk is the simulation chunk, the monitoring lag and the
 	// coordination granularity (default 10 minutes).
 	Chunk simtime.Duration
-	// MaxStreams caps concurrently-simulating instances (0 = all).
-	// Coordination is barrier-synchronized, so the setting changes wall
-	// time only, never results.
+	// MaxStreams caps concurrently-simulating instances (0 = all). The
+	// cap is fleet-wide — one semaphore shared across every shard's
+	// instances. Coordination is barrier-synchronized, so the setting
+	// changes wall time only, never results.
 	MaxStreams int
+	// Shards partitions the instances (by ID hash) into independent
+	// coordinator+service slices (default 1; clamped to the instance
+	// count). Sharding changes wall time and telemetry labels only:
+	// reports are byte-identical across shard counts.
+	Shards int
 	// Service tunes the shared diagnosis service. Queue and cache sizes
 	// of zero are raised to fleet-scale defaults generous enough that
 	// no event is shed and no cache entry evicted mid-run — shedding
@@ -101,15 +113,21 @@ func (c Config) withDefaults(n int) Config {
 	if c.MaxStreams <= 0 || c.MaxStreams > n {
 		c.MaxStreams = n
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > n {
+		c.Shards = n
+	}
 	if c.Service.Queue <= 0 {
 		c.Service.Queue = 1024
 	}
 	if c.Service.ResultCacheSize <= 0 {
 		c.Service.ResultCacheSize = 4096
 	}
-	if c.Service.APGCacheSize <= 0 {
-		c.Service.APGCacheSize = 64 * n
-	}
+	// APGCacheSize defaults per shard in New — 64 entries per shard
+	// instance, capped at apgCacheCap — so a 1000-instance fleet no
+	// longer allocates an unbounded 64k-entry cache.
 	if c.Service.SDCacheSize <= 0 {
 		c.Service.SDCacheSize = 4096
 	}
@@ -117,9 +135,17 @@ func (c Config) withDefaults(n int) Config {
 	return c
 }
 
-// instanceState is the fleet's per-instance bookkeeping. The coordinator
-// owns events/detected/firstDetection (written only between barriers);
-// transfers is written by service workers under the fleet mutex.
+// apgCacheCap bounds the default per-shard APG cache regardless of how
+// many instances the shard holds. Past the cap, LRU eviction is
+// possible; evictions are visible via diads_cache_evictions_total and
+// cost recomputation only — every cached artifact is a pure function of
+// instance state, so eviction can never change a result, only wall
+// time.
+const apgCacheCap = 4096
+
+// instanceState is the fleet's per-instance bookkeeping. The shard
+// coordinator owns events/detected/firstDetection (written only between
+// barriers); transfers is written by service workers, hence atomic.
 type instanceState struct {
 	Instance
 	gate           *monitor.Gate
@@ -127,7 +153,7 @@ type instanceState struct {
 	events         int
 	detected       bool
 	firstDetection simtime.Time
-	transfers      int
+	transfers      atomic.Int64
 }
 
 // Fleet drives the instances. Construct with New, then Run once.
@@ -137,16 +163,12 @@ type Fleet struct {
 	instances []*instanceState
 	byID      map[string]*instanceState
 	shared    map[string]bool
-	svc       *service.Service
+	shards    []*shard
+	ex        *exchange
 
-	mu    sync.Mutex // guards learn and instanceState.transfers
-	learn *learner
-
-	tel fleetTelemetry
-
-	// probed marks (instance, query) pairs whose quiet-window baseline
-	// has been captured into the healthy corpus. Coordinator-owned.
-	probed map[string]bool
+	failMu   sync.Mutex
+	firstErr error
+	cancel   context.CancelFunc
 
 	ran bool
 }
@@ -163,8 +185,6 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 		symdb:  cfg.SymDB,
 		byID:   make(map[string]*instanceState, len(instances)),
 		shared: make(map[string]bool, len(cfg.SharedSubjects)),
-		learn:  newLearner(cfg.Learn, cfg.SymDB),
-		probed: make(map[string]bool),
 	}
 	for _, s := range cfg.SharedSubjects {
 		f.shared[s] = true
@@ -187,55 +207,62 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 		f.instances = append(f.instances, st)
 		f.byID[inst.ID] = st
 	}
-	f.svc = service.New(f.envOf(f.instances[0]), cfg.Service)
+
+	// Partition the instances into shards by ID hash; hash vacancies
+	// collapse (the exchange needs a declaration stream from every
+	// shard it tracks, so empty shards must not exist).
+	groups := make([][]*instanceState, cfg.Shards)
 	for _, st := range f.instances {
-		f.svc.AddInstance(st.ID, f.envOf(st))
+		gi := shardOf(st.ID, cfg.Shards)
+		groups[gi] = append(groups[gi], st)
 	}
-	f.svc.OnDiagnosis = f.onDiagnosis
-	f.svc.OnHealthy = f.onHealthy
-	f.svc.Self = cfg.SelfObserver
-	f.tel = newFleetTelemetry()
+	sharded := cfg.Shards > 1
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := &shard{
+			id:              len(f.shards),
+			f:               f,
+			instances:       g,
+			probed:          make(map[string]bool),
+			deposited:       make(map[incidentID]bool),
+			declaredThrough: -1,
+		}
+		svcCfg := cfg.Service
+		if svcCfg.APGCacheSize <= 0 {
+			size := 64 * len(g)
+			if size > apgCacheCap {
+				size = apgCacheCap
+			}
+			svcCfg.APGCacheSize = size
+		}
+		if sharded {
+			svcCfg.ShardLabel = strconv.Itoa(sh.id)
+		}
+		sh.svc = service.New(f.envOf(g[0]), svcCfg)
+		for _, st := range g {
+			sh.svc.AddInstance(st.ID, f.envOf(st))
+		}
+		sh.svc.OnDiagnosis = sh.onDiagnosis
+		sh.svc.OnHealthy = sh.onHealthy
+		sh.svc.Self = cfg.SelfObserver
+		sh.initTelemetry(sharded)
+		f.shards = append(f.shards, sh)
+	}
+	f.ex = newExchange(cfg.Learn, newLearner(cfg.Learn, cfg.SymDB), len(f.shards))
 	f.registerTelemetryFuncs()
 	return f, nil
 }
 
-// fleetTelemetry bundles the coordinator's instruments: wave and
-// learn-step latency, plus lifetime wave/event counters.
-type fleetTelemetry struct {
-	waves    *telemetry.Counter
-	released *telemetry.Counter
-	waveSec  *telemetry.Histogram
-	learnSec *telemetry.Histogram
-}
-
-func newFleetTelemetry() fleetTelemetry {
-	reg := telemetry.Default()
-	return fleetTelemetry{
-		waves: reg.Counter("diads_fleet_waves_total",
-			"Evidence-time waves the coordinator dispatched.", nil),
-		released: reg.Counter("diads_fleet_events_released_total",
-			"Slowdown events released through the gates into waves.", nil),
-		waveSec: reg.Histogram("diads_fleet_wave_seconds",
-			"Wall time of one evidence-time wave: submit, settle, probes, learn step.",
-			nil, nil),
-		learnSec: reg.Histogram("diads_fleet_learn_step_seconds",
-			"Wall time of one symptom-learning step between waves.",
-			nil, nil),
-	}
-}
-
 // registerTelemetryFuncs installs scrape-time callbacks over the
-// candidate lifecycle. The callbacks take the fleet mutex; the registry
-// invokes them outside its own lock, so scrapes never order against the
-// coordinator.
+// candidate lifecycle. The callbacks take the exchange lock; the
+// registry invokes them outside its own lock, so scrapes never order
+// against the coordinators.
 func (f *Fleet) registerTelemetryFuncs() {
 	reg := telemetry.Default()
 	learnVal := func(read func(l *learner) float64) func() float64 {
-		return func() float64 {
-			f.mu.Lock()
-			defer f.mu.Unlock()
-			return read(f.learn)
-		}
+		return func() float64 { return f.ex.read(read) }
 	}
 	reg.GaugeFunc("diads_fleet_candidates",
 		"Mined symptom candidates by lifecycle state.",
@@ -281,7 +308,8 @@ type chunkMsg struct {
 }
 
 // Run streams every instance to the end of its timeline and returns the
-// fleet report. It may be called once.
+// merged fleet report. It may be called once. Each shard runs its own
+// coordinator; Run fans them out, waits, and merges.
 func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 	if f.ran {
 		return nil, errors.New("fleet: already ran")
@@ -290,241 +318,54 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	f.svc.Start(ctx)
+	f.cancel = cancel
 
-	n := len(f.instances)
-	barrier := make(chan chunkMsg, n)
 	sem := make(chan struct{}, f.cfg.MaxStreams)
 	var wg sync.WaitGroup
-	for i, st := range f.instances {
+	for _, sh := range f.shards {
+		sh.svc.Start(ctx)
+	}
+	for _, sh := range f.shards {
 		wg.Add(1)
-		go func(i int, st *instanceState) {
+		go func(sh *shard) {
 			defer wg.Done()
-			held := false
-			acquire := func() error {
-				select {
-				case sem <- struct{}{}:
-					held = true
-					return nil
-				case <-ctx.Done():
-					return ctx.Err()
-				}
-			}
-			release := func() {
-				if held {
-					<-sem
-					held = false
-				}
-			}
-			err := acquire()
-			if err == nil {
-				err = st.Testbed.SimulateStream(f.cfg.Chunk, func(now simtime.Time) error {
-					release()
-					select {
-					case barrier <- chunkMsg{idx: i, now: now}:
-					case <-ctx.Done():
-						return ctx.Err()
-					}
-					select {
-					case <-st.resume:
-					case <-ctx.Done():
-						return ctx.Err()
-					}
-					return acquire()
-				})
-			}
-			release()
-			barrier <- chunkMsg{idx: i, done: true, err: err}
-		}(i, st)
-	}
-
-	var firstErr error
-	fail := func(err error) {
-		if err == nil {
-			return
-		}
-		// Plain cancellations are the unwind of an earlier failure (or
-		// of the caller's context), not a cause of their own.
-		if firstErr == nil && !errors.Is(err, context.Canceled) {
-			firstErr = err
-		}
-		cancel()
-	}
-
-	alive := n
-	atBarrier := make([]bool, n)
-	justDone := make([]bool, n)
-	watermark := make([]simtime.Time, n)
-	for alive > 0 {
-		// Collect one message from every alive instance: its next chunk
-		// boundary, or its completion.
-		for i := range justDone {
-			justDone[i] = false
-		}
-		arrived := 0
-		for arrived < alive {
-			msg := <-barrier
-			if msg.done {
-				alive--
-				justDone[msg.idx] = true
-				fail(msg.err)
-				continue
-			}
-			atBarrier[msg.idx] = true
-			watermark[msg.idx] = msg.now
-			arrived++
-		}
-		// Every instance is now parked (or finished): drain the gates,
-		// then diagnose the released events in evidence-time waves.
-		// Nothing simulates while diagnoses read the metric stores.
-		if firstErr == nil {
-			var released []monitor.SlowdownEvent
-			for i, st := range f.instances {
-				w := watermark[i]
-				if justDone[i] {
-					// A finished instance's metrics are fully emitted
-					// (including the partial tail), so everything still
-					// gated can release.
-					w = simtime.Time(math.MaxFloat64)
-				} else if !atBarrier[i] {
-					continue
-				}
-				released = append(released, f.collect(st, w)...)
-			}
-			if err := f.submitWaves(ctx, released); err != nil {
-				fail(err)
-			}
-		}
-		for i, st := range f.instances {
-			if atBarrier[i] {
-				atBarrier[i] = false
-				st.resume <- struct{}{}
-			}
-		}
+			sh.run(ctx, sem)
+		}(sh)
 	}
 	wg.Wait()
-	f.svc.Wait()
-	f.svc.Stop()
-	if firstErr == nil {
+
+	f.failMu.Lock()
+	err := f.firstErr
+	f.failMu.Unlock()
+	if err == nil {
 		// A caller-canceled context unwinds the instances with plain
 		// context.Canceled errors, which fail() filters; surface the
 		// cancellation itself rather than an empty report. The fleet's
 		// own deferred cancel has not run yet, so a successful run
 		// reads a nil cause here.
-		firstErr = context.Cause(ctx)
+		err = context.Cause(ctx)
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return f.report(), nil
 }
 
-// collect moves an instance's detected slowdowns into its gate (tagging
-// them with the instance ID) and returns the events whose evidence read
-// windows the instance's metric watermark covers.
-func (f *Fleet) collect(st *instanceState, w simtime.Time) []monitor.SlowdownEvent {
-	for {
-		select {
-		case ev := <-st.Monitor.Events():
-			ev.Instance = st.ID
-			st.events++
-			if !st.detected || ev.At < st.firstDetection {
-				st.detected = true
-				st.firstDetection = ev.At
-			}
-			st.gate.Add(ev)
-			continue
-		default:
-		}
-		break
-	}
-	return st.gate.Release(w)
-}
-
-// submitWaves diagnoses released events in evidence-time waves: sorted by
-// the end of their read windows, events sharing an end diagnose
-// concurrently, then the coordinator settles the worker pool and runs the
-// learning step before the next wave. Ordering by evidence time — never
-// by barrier arrival — is what makes the whole fleet run chunk-size
-// invariant: the interleaving of diagnoses and symptom-learning installs
-// is a function of the event stream alone, so a 1-minute-chunk run and a
-// single-chunk batch run produce byte-identical reports. (A coarser
-// chunking merely hands the coordinator several waves at one barrier; the
-// wave sequence itself does not move.)
-func (f *Fleet) submitWaves(ctx context.Context, released []monitor.SlowdownEvent) error {
-	sort.SliceStable(released, func(i, j int) bool {
-		if released[i].ReadWindow.End != released[j].ReadWindow.End {
-			return released[i].ReadWindow.End < released[j].ReadWindow.End
-		}
-		if released[i].Instance != released[j].Instance {
-			return released[i].Instance < released[j].Instance
-		}
-		return released[i].RunID < released[j].RunID
-	})
-	for i := 0; i < len(released); {
-		j := i
-		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {
-			j++
-		}
-		waveStart := time.Now()
-		for _, ev := range released[i:j] {
-			switch err := f.svc.Submit(ev); err {
-			case nil, service.ErrDuplicate:
-			case service.ErrBackpressure:
-				// Shed events are counted in Stats.Rejected; the fleet's
-				// default queue is sized so this never happens.
-			default:
-				return err
-			}
-		}
-		f.svc.Wait()
-		f.quietProbes(ctx, released[i:j])
-		f.learnStep()
-		waveWall := time.Since(waveStart)
-		f.tel.waves.Inc()
-		f.tel.released.Add(int64(j - i))
-		f.tel.waveSec.Observe(waveWall.Seconds())
-		telemetry.DefaultTracer().Record(telemetry.Span{
-			TraceID: "fleet", Name: "fleet.wave",
-			Start: waveStart, Duration: waveWall,
-			Attrs: []telemetry.Attr{
-				{Key: "events", Value: strconv.Itoa(j - i)},
-				{Key: "window_end", Value: released[i].ReadWindow.End.Clock()},
-			},
-		})
-		i = j
-	}
-	return nil
-}
-
-// quietProbes captures the quiet-window baseline of every (instance,
-// query) seen in the wave, once per pair: the event's satisfactory run
-// history is diagnosed as if its last healthy run had been flagged, and
-// whatever facts emerge are by construction present during normal
-// operation — exactly what the miner's background filter and the
-// validator's healthy corpus need. Probes are derived from the event
-// snapshot (not the live monitor state), so their content is a function
-// of the event stream alone and fleet runs stay chunk-size invariant.
-func (f *Fleet) quietProbes(ctx context.Context, wave []monitor.SlowdownEvent) {
-	if f.cfg.Learn.Disabled {
+// fail records the first real failure, cancels the run, and unwedges
+// the learning exchange. Plain cancellations and exchange aborts are
+// the unwind of an earlier failure (or of the caller's context), not a
+// cause of their own.
+func (f *Fleet) fail(err error) {
+	if err == nil {
 		return
 	}
-	for _, ev := range wave {
-		key := ev.Instance + "\x00" + ev.Query
-		if f.probed[key] {
-			continue
-		}
-		f.probed[key] = true
-		st := f.byID[ev.Instance]
-		if st == nil {
-			continue
-		}
-		if fb := quietFacts(ctx, f.envOf(st), ev); fb != nil {
-			f.mu.Lock()
-			f.learn.addHealthy(fb)
-			f.mu.Unlock()
-		}
+	f.failMu.Lock()
+	if f.firstErr == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, errAborted) {
+		f.firstErr = err
 	}
+	f.failMu.Unlock()
+	f.cancel()
+	f.ex.abort()
 }
 
 // quietFacts replays the diagnosis machinery over the event's
@@ -568,7 +409,3 @@ func quietFacts(ctx context.Context, env service.Env, ev monitor.SlowdownEvent) 
 	}
 	return res.Facts
 }
-
-// Service exposes the shared diagnosis service (registry, stats,
-// per-module totals).
-func (f *Fleet) Service() *service.Service { return f.svc }

@@ -56,6 +56,54 @@ func TestFleetDeterministicAcrossConcurrency(t *testing.T) {
 	}
 }
 
+// TestFleetDeterministicAcrossShards pins the sharded tentpole's
+// contract: the merged fleet report is byte-identical for a seed across
+// shard counts 1/2/4/8 and across repeated runs of the same sharded
+// configuration. Under -race this also proves the shard coordinators,
+// the fleet-wide stream semaphore, and the epoch-seal learning exchange
+// share no unsynchronized state.
+func TestFleetDeterministicAcrossShards(t *testing.T) {
+	base := experiments.FleetSpec{
+		Seed: testSeed, Instances: 8, Degraded: 6, Runs: 12,
+	}
+	var want string
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=2", 2},
+		{"shards=4", 4},
+		{"shards=4-again", 4},
+		{"shards=8", 8},
+		{"shards=8-again", 8},
+	} {
+		s := base
+		s.Shards = cfg.shards
+		rep, _, err := experiments.RunFleetSpec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if rep.Stats.Rejected != 0 || rep.Stats.Failed != 0 {
+			t.Fatalf("%s: rejected=%d failed=%d, want 0/0",
+				cfg.name, rep.Stats.Rejected, rep.Stats.Failed)
+		}
+		if rep.Learning.Transfers == 0 || len(rep.Learning.Installed) == 0 {
+			t.Fatalf("%s: learning went dead (installed=%d transfers=%d)",
+				cfg.name, len(rep.Learning.Installed), rep.Learning.Transfers)
+		}
+		got := rep.Render()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: report diverged from the shards=1 run\n--- want ---\n%s\n--- got ---\n%s",
+				cfg.name, want, got)
+		}
+	}
+}
+
 // TestFleetGroupsSharedPoolAcrossSeeds sweeps seeds on the shared-pool
 // scenario: the misconfiguration must always fold into one correlated
 // cross-instance incident ranked first, spanning exactly the attached

@@ -64,20 +64,41 @@ type InstanceReport struct {
 type Report struct {
 	Instances []InstanceReport
 	Groups    []GroupedIncident
-	// Stats are the shared service's lifetime counters. The cache
+	// Stats sums the per-shard services' lifetime counters. The cache
 	// fields are scheduling-dependent; every other counter is
 	// deterministic per seed under the fleet's barrier coordination.
 	Stats    service.Stats
 	Learning LearnStats
 }
 
-// report folds the registry into the fleet view.
+// report merges the per-shard services into the fleet view: counters
+// sum, registries concatenate and re-sort under the registry's own
+// ranking contract. Per-shard incident state is a function of the event
+// stream alone, so the merged view is byte-identical across shard
+// counts.
 func (f *Fleet) report() *Report {
-	rep := &Report{
-		Stats:    f.svc.Stats(),
-		Learning: f.learnStats(),
+	rep := &Report{Learning: f.ex.stats()}
+	var incs []service.Incident
+	for _, sh := range f.shards {
+		st := sh.svc.Stats()
+		rep.Stats.Submitted += st.Submitted
+		rep.Stats.Deduped += st.Deduped
+		rep.Stats.Rejected += st.Rejected
+		rep.Stats.Completed += st.Completed
+		rep.Stats.Failed += st.Failed
+		rep.Stats.QueueDepth += st.QueueDepth
+		rep.Stats.APG.Hits += st.APG.Hits
+		rep.Stats.APG.Misses += st.APG.Misses
+		rep.Stats.APG.Evictions += st.APG.Evictions
+		rep.Stats.SD.Hits += st.SD.Hits
+		rep.Stats.SD.Misses += st.SD.Misses
+		rep.Stats.SD.Evictions += st.SD.Evictions
+		rep.Stats.Results.Hits += st.Results.Hits
+		rep.Stats.Results.Misses += st.Results.Misses
+		rep.Stats.Results.Evictions += st.Results.Evictions
+		incs = append(incs, sh.svc.Registry().Incidents()...)
 	}
-	incs := f.svc.Registry().Incidents()
+	service.SortIncidents(incs)
 	perInstance := make(map[string]int, len(f.instances))
 	for _, inc := range incs {
 		perInstance[inc.Instance]++
@@ -87,7 +108,7 @@ func (f *Fleet) report() *Report {
 			ID: st.ID, Shared: st.Shared,
 			Events: st.events, Detected: st.detected, FirstDetection: st.firstDetection,
 			Incidents: perInstance[st.ID],
-			Transfers: st.transfers,
+			Transfers: int(st.transfers.Load()),
 		})
 	}
 	rep.Groups = f.group(incs)

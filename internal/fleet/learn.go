@@ -2,11 +2,9 @@ package fleet
 
 import (
 	"sort"
-	"time"
 
-	"diads/internal/diag"
-	"diads/internal/monitor"
 	"diads/internal/service"
+	"diads/internal/simtime"
 	"diads/internal/symptoms"
 )
 
@@ -65,10 +63,19 @@ type LearnConfig struct {
 	Review ReviewPolicy
 	// Reviewer is consulted under ReviewOperator: it sees the candidate
 	// and its validation report and answers accept or reject. It is
-	// called from the fleet's coordinator, so it must be deterministic
-	// for fleet runs to stay byte-identical per seed. Nil under
-	// ReviewOperator leaves validated candidates pending.
+	// called from whichever shard goroutine seals the epoch, so it must
+	// be deterministic for fleet runs to stay byte-identical per seed.
+	// Nil under ReviewOperator leaves validated candidates pending.
 	Reviewer func(symptoms.CandidateEntry, symptoms.Validation) bool
+	// Epoch is the evidence-time granularity of the learning exchange
+	// (default 10 simulated minutes). Shards deposit confirmations and
+	// healthy bases tagged with their epoch; the central learner folds an
+	// epoch exactly once, when every shard's release frontier has passed
+	// its boundary, and installs land at that seal. Epoch is a fixed
+	// evidence-time grid — independent of Chunk — so chunk-size sweeps
+	// stay byte-identical; changing Epoch itself changes when installs
+	// become visible and therefore legitimately changes reports.
+	Epoch simtime.Duration
 }
 
 func (c LearnConfig) withDefaults() LearnConfig {
@@ -88,6 +95,9 @@ func (c LearnConfig) withDefaults() LearnConfig {
 	}
 	if c.MinHoldout <= 0 {
 		c.MinHoldout = 1
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 10 * simtime.Minute
 	}
 	return c
 }
@@ -117,8 +127,8 @@ func (c *candidate) state() string {
 
 // learner runs the candidate lifecycle — proposed → validated →
 // installed/rejected — over a shared symptoms database. It has no
-// locking of its own: the Fleet drives it from the single coordinator
-// under the fleet mutex, and tests drive it directly.
+// locking of its own: the exchange drives it under its mutex at epoch
+// seals, and tests drive it directly.
 type learner struct {
 	cfg       LearnConfig
 	symdb     *symptoms.DB
@@ -354,58 +364,6 @@ func (l *learner) stats() LearnStats {
 	return out
 }
 
-// learnStep runs between evidence-time waves while the service is
-// quiescent: route newly-confirmed incidents, then advance the
-// candidate lifecycle. Installation bumps the database version, which
-// invalidates cached symptoms evaluations, so an accepted entry takes
-// effect on the very next wave's diagnoses.
-func (f *Fleet) learnStep() {
-	if f.cfg.Learn.Disabled {
-		return
-	}
-	start := time.Now()
-	f.mu.Lock()
-	f.learn.observe(f.svc.Registry().Incidents())
-	f.learn.step()
-	f.mu.Unlock()
-	f.tel.learnSec.Observe(time.Since(start).Seconds())
-}
-
-// onHealthy receives healthy-period fact bases (low-confidence
-// diagnoses from the service, quiet-window probes from the
-// coordinator) and feeds the learner's background/validation corpus.
-func (f *Fleet) onHealthy(_ monitor.SlowdownEvent, fb *symptoms.FactBase) {
-	if f.cfg.Learn.Disabled {
-		return
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.learn.addHealthy(fb)
-}
-
-// onDiagnosis observes every completed diagnosis (called from service
-// workers): a mined entry scoring high in a diagnosis on an instance
-// that did not author it is a successful cross-instance symptom
-// transfer. The counters are commutative, so concurrent completion
-// order cannot change the final report.
-func (f *Fleet) onDiagnosis(ev monitor.SlowdownEvent, res *diag.Result) {
-	if f.cfg.Learn.Disabled {
-		return
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, c := range res.Causes {
-		if !symptoms.IsMined(c.Kind) || c.Confidence < confirmConfidence {
-			continue
-		}
-		if f.learn.transferIn(c.Kind, ev.Instance) {
-			if st := f.byID[ev.Instance]; st != nil {
-				st.transfers++
-			}
-		}
-	}
-}
-
 // InstalledEntry describes one mined entry installed into the shared
 // database: the instances whose confirmed incidents authored it, the
 // installable entry itself (renderable to the admin DSL for
@@ -465,11 +423,4 @@ type LearnStats struct {
 	// benefiting instances (sorted).
 	Transfers         int
 	TransferInstances []string
-}
-
-// learnStats snapshots the loop's outcome for the report.
-func (f *Fleet) learnStats() LearnStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.learn.stats()
 }

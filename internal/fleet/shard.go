@@ -1,0 +1,422 @@
+package fleet
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"diads/internal/diag"
+	"diads/internal/monitor"
+	"diads/internal/service"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/telemetry"
+)
+
+// shardOf assigns an instance to a shard by FNV-1a hash of its ID. The
+// assignment is load-bearing only for wall time: diagnosis state is
+// instance-scoped throughout (dedup keys, caches, registry identities),
+// so moving an instance between shards cannot change any result — the
+// property the shard-count determinism sweep pins.
+func shardOf(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// shard is one slice of the fleet: a subset of instances, their own
+// coordinator goroutine, and their own diagnosis service (worker pool,
+// dedup stripes, impact registry, APG/SD caches). Shards share nothing
+// on the hot path; they meet only at the learning exchange's epoch
+// seals and the end-of-run report merge.
+type shard struct {
+	id        int
+	f         *Fleet
+	instances []*instanceState // fleet construction order
+	svc       *service.Service
+
+	// probed marks (instance, query) pairs whose quiet-window baseline
+	// has been captured. Instance-scoped keys, so per-shard maps
+	// partition the fleet-global set exactly.
+	probed map[string]bool
+	// deposited marks incidents already handed to the exchange, keyed
+	// by registry identity (instance-scoped, so shard-local dedup is
+	// fleet-exact).
+	deposited map[incidentID]bool
+	// buffered holds released events whose learning epoch is not yet
+	// complete — chiefly the far-future tails of finished instances,
+	// which release wholesale at their final barrier long before the
+	// shard's frontier reaches them.
+	buffered []monitor.SlowdownEvent
+	// declaredThrough is the highest epoch this shard has declared to
+	// the exchange.
+	declaredThrough int64
+
+	waves    *telemetry.Counter
+	released *telemetry.Counter
+	waveSec  *telemetry.Histogram
+}
+
+// initTelemetry installs the shard's wave instruments. Sharded fleets
+// label per shard so the series coexist; a single-shard fleet keeps the
+// exact unlabeled families earlier PRs exposed.
+func (sh *shard) initTelemetry(sharded bool) {
+	var labels telemetry.Labels
+	if sharded {
+		labels = telemetry.Labels{"shard": strconv.Itoa(sh.id)}
+	}
+	reg := telemetry.Default()
+	sh.waves = reg.Counter("diads_fleet_waves_total",
+		"Evidence-time waves the coordinator dispatched.", labels)
+	sh.released = reg.Counter("diads_fleet_events_released_total",
+		"Slowdown events released through the gates into waves.", labels)
+	sh.waveSec = reg.Histogram("diads_fleet_wave_seconds",
+		"Wall time of one evidence-time wave: submit, settle, probes, deposits.",
+		labels, nil)
+}
+
+// run is the shard's coordinator: it streams the shard's instances
+// through chunk barriers, releases gated events by watermark, and
+// processes complete learning epochs in evidence-time wave order. It is
+// the per-shard copy of what used to be the fleet-global loop; the only
+// cross-shard interactions are the shared MaxStreams semaphore and the
+// learning exchange.
+func (sh *shard) run(ctx context.Context, sem chan struct{}) {
+	defer func() {
+		// Whatever happened, release the exchange: a shard that stops
+		// declaring would wedge every other shard's epoch waits.
+		sh.f.ex.declare(sh.id, epochDone)
+		sh.svc.Wait()
+		sh.svc.Stop()
+	}()
+
+	n := len(sh.instances)
+	barrier := make(chan chunkMsg, n)
+	var wg sync.WaitGroup
+	for i, st := range sh.instances {
+		wg.Add(1)
+		go func(i int, st *instanceState) {
+			defer wg.Done()
+			held := false
+			acquire := func() error {
+				select {
+				case sem <- struct{}{}:
+					held = true
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			release := func() {
+				if held {
+					<-sem
+					held = false
+				}
+			}
+			err := acquire()
+			if err == nil {
+				err = st.Testbed.SimulateStream(sh.f.cfg.Chunk, func(now simtime.Time) error {
+					release()
+					select {
+					case barrier <- chunkMsg{idx: i, now: now}:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+					select {
+					case <-st.resume:
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+					return acquire()
+				})
+			}
+			release()
+			barrier <- chunkMsg{idx: i, done: true, err: err}
+		}(i, st)
+	}
+
+	alive := n
+	atBarrier := make([]bool, n)
+	justDone := make([]bool, n)
+	finished := make([]bool, n)
+	watermark := make([]simtime.Time, n)
+	for alive > 0 {
+		for i := range justDone {
+			justDone[i] = false
+		}
+		arrived := 0
+		for arrived < alive {
+			msg := <-barrier
+			if msg.done {
+				alive--
+				justDone[msg.idx] = true
+				finished[msg.idx] = true
+				sh.f.fail(msg.err)
+				continue
+			}
+			atBarrier[msg.idx] = true
+			watermark[msg.idx] = msg.now
+			arrived++
+		}
+		// Every shard instance is now parked (or finished): drain the
+		// gates, then advance through whatever learning epochs the
+		// release frontier has completed. Nothing in this shard
+		// simulates while its diagnoses read the metric stores.
+		if ctx.Err() == nil {
+			frontier := simtime.Time(math.MaxFloat64)
+			for i, st := range sh.instances {
+				w := watermark[i]
+				if justDone[i] {
+					// A finished instance's metrics are fully emitted
+					// (including the partial tail), so everything still
+					// gated can release.
+					w = simtime.Time(math.MaxFloat64)
+				} else if !atBarrier[i] {
+					continue
+				}
+				sh.buffered = append(sh.buffered, sh.collect(st, w)...)
+				if !finished[i] && watermark[i] < frontier {
+					frontier = watermark[i]
+				}
+			}
+			if err := sh.advance(ctx, frontier); err != nil {
+				sh.f.fail(err)
+			}
+		}
+		for i, st := range sh.instances {
+			if atBarrier[i] {
+				atBarrier[i] = false
+				st.resume <- struct{}{}
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// collect moves an instance's detected slowdowns into its gate (tagging
+// them with the instance ID) and returns the events whose evidence read
+// windows the instance's metric watermark covers.
+func (sh *shard) collect(st *instanceState, w simtime.Time) []monitor.SlowdownEvent {
+	for {
+		select {
+		case ev := <-st.Monitor.Events():
+			ev.Instance = st.ID
+			st.events++
+			if !st.detected || ev.At < st.firstDetection {
+				st.detected = true
+				st.firstDetection = ev.At
+			}
+			st.gate.Add(ev)
+			continue
+		default:
+		}
+		break
+	}
+	return st.gate.Release(w)
+}
+
+// advance processes every learning epoch the frontier has completed, in
+// order: wait for the previous epoch's seal, diagnose the epoch's waves,
+// deposit its contributions, declare it. Events of incomplete epochs
+// (released early by finished instances) stay buffered — processing one
+// would mean waiting on a seal that needs this shard's own undeclarable
+// epoch, the self-deadlock the buffer exists to avoid.
+func (sh *shard) advance(ctx context.Context, frontier simtime.Time) error {
+	epochLen := sh.f.cfg.Learn.Epoch
+	d := completeThrough(frontier, epochLen)
+	stop := int64(-1)
+	for _, ev := range sh.buffered {
+		if e := epochOf(ev.ReadWindow.End, epochLen); e > stop {
+			stop = e
+		}
+	}
+	if stop > d {
+		stop = d
+	}
+	for e := sh.declaredThrough + 1; e <= stop; e++ {
+		if err := sh.f.ex.waitSealed(e - 1); err != nil {
+			return err
+		}
+		if err := sh.processEpoch(ctx, e); err != nil {
+			return err
+		}
+		sh.declaredThrough = e
+		sh.f.ex.declare(sh.id, e)
+	}
+	if d > sh.declaredThrough {
+		// Epochs past the last buffered event are complete and empty;
+		// declare them wholesale (d is epochDone once every instance
+		// has finished).
+		sh.declaredThrough = d
+		sh.f.ex.declare(sh.id, d)
+	}
+	return nil
+}
+
+// processEpoch pulls the epoch's events out of the buffer and diagnoses
+// them in evidence-time waves.
+func (sh *shard) processEpoch(ctx context.Context, epoch int64) error {
+	epochLen := sh.f.cfg.Learn.Epoch
+	var wave []monitor.SlowdownEvent
+	rest := sh.buffered[:0]
+	for _, ev := range sh.buffered {
+		if epochOf(ev.ReadWindow.End, epochLen) == epoch {
+			wave = append(wave, ev)
+		} else {
+			rest = append(rest, ev)
+		}
+	}
+	sh.buffered = rest
+	return sh.submitWaves(ctx, wave)
+}
+
+// submitWaves diagnoses released events in evidence-time waves: sorted
+// by the end of their read windows, events sharing an end diagnose
+// concurrently, then the coordinator settles the worker pool, captures
+// quiet-window probes, and deposits newly-confirmed incidents before
+// the next wave. Ordering by evidence time — never by barrier arrival —
+// is what makes the run chunk-size invariant: the wave sequence is a
+// function of the event stream alone, so a 1-minute-chunk run and a
+// single-chunk batch run produce byte-identical reports.
+func (sh *shard) submitWaves(ctx context.Context, released []monitor.SlowdownEvent) error {
+	sort.SliceStable(released, func(i, j int) bool {
+		if released[i].ReadWindow.End != released[j].ReadWindow.End {
+			return released[i].ReadWindow.End < released[j].ReadWindow.End
+		}
+		if released[i].Instance != released[j].Instance {
+			return released[i].Instance < released[j].Instance
+		}
+		return released[i].RunID < released[j].RunID
+	})
+	for i := 0; i < len(released); {
+		j := i
+		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {
+			j++
+		}
+		waveStart := time.Now()
+		for _, ev := range released[i:j] {
+			switch err := sh.svc.Submit(ev); err {
+			case nil, service.ErrDuplicate:
+			case service.ErrBackpressure:
+				// Shed events are counted in Stats.Rejected; the fleet's
+				// default queue is sized so this never happens.
+			default:
+				return err
+			}
+		}
+		sh.svc.Wait()
+		sh.quietProbes(ctx, released[i:j])
+		sh.depositConfirmed(released[i].ReadWindow.End)
+		waveWall := time.Since(waveStart)
+		sh.waves.Inc()
+		sh.released.Add(int64(j - i))
+		sh.waveSec.Observe(waveWall.Seconds())
+		telemetry.DefaultTracer().Record(telemetry.Span{
+			TraceID: "fleet", Name: "fleet.wave",
+			Start: waveStart, Duration: waveWall,
+			Attrs: []telemetry.Attr{
+				{Key: "shard", Value: strconv.Itoa(sh.id)},
+				{Key: "events", Value: strconv.Itoa(j - i)},
+				{Key: "window_end", Value: released[i].ReadWindow.End.Clock()},
+			},
+		})
+		i = j
+	}
+	return nil
+}
+
+// quietProbes captures the quiet-window baseline of every (instance,
+// query) seen in the wave, once per pair: the event's satisfactory run
+// history is diagnosed as if its last healthy run had been flagged, and
+// whatever facts emerge are by construction present during normal
+// operation — exactly what the miner's background filter and the
+// validator's healthy corpus need. Probes are derived from the event
+// snapshot (not live monitor state), so their content is a function of
+// the event stream alone; they are deposited under the wave's epoch and
+// fold into the learner at its seal.
+func (sh *shard) quietProbes(ctx context.Context, wave []monitor.SlowdownEvent) {
+	if sh.f.cfg.Learn.Disabled {
+		return
+	}
+	epochLen := sh.f.cfg.Learn.Epoch
+	for _, ev := range wave {
+		key := ev.Instance + "\x00" + ev.Query
+		if sh.probed[key] {
+			continue
+		}
+		sh.probed[key] = true
+		st := sh.f.byID[ev.Instance]
+		if st == nil {
+			continue
+		}
+		if fb := quietFacts(ctx, sh.f.envOf(st), ev); fb != nil {
+			sh.f.ex.depositHealthy(epochOf(ev.ReadWindow.End, epochLen), fb)
+		}
+	}
+}
+
+// depositConfirmed scans the shard's registry after a wave and hands
+// every incident that newly crossed the confirmation gate to the
+// exchange, tagged with this wave's evidence end. The crossing wave is
+// determined by the incident's own event stream, so the deposit key —
+// and therefore the seal's fold order — is identical for every shard
+// count and chunk size.
+func (sh *shard) depositConfirmed(waveEnd simtime.Time) {
+	if sh.f.cfg.Learn.Disabled {
+		return
+	}
+	cfg := sh.f.cfg.Learn
+	for _, inc := range sh.svc.Registry().Incidents() {
+		if inc.Kind == service.PlanChangeKind || symptoms.IsMined(inc.Kind) {
+			continue
+		}
+		if inc.Confidence < confirmConfidence || inc.Events < cfg.ConfirmEvents {
+			continue
+		}
+		if inc.Result == nil || inc.Result.Facts == nil {
+			continue
+		}
+		id := incidentID{inc.Instance, inc.Query, inc.Kind, inc.Subject}
+		if sh.deposited[id] {
+			continue
+		}
+		sh.deposited[id] = true
+		sh.f.ex.depositConfirm(epochOf(waveEnd, cfg.Epoch),
+			confirmation{waveEnd: waveEnd, inc: inc})
+	}
+}
+
+// onDiagnosis observes every completed diagnosis (called from the
+// shard's service workers): a mined entry scoring high in a diagnosis
+// on an instance that did not author it is a successful cross-instance
+// symptom transfer. Author sets are frozen at install seals and the
+// counters are commutative, so worker scheduling cannot change the
+// final report.
+func (sh *shard) onDiagnosis(ev monitor.SlowdownEvent, res *diag.Result) {
+	if sh.f.cfg.Learn.Disabled {
+		return
+	}
+	for _, c := range res.Causes {
+		if !symptoms.IsMined(c.Kind) || c.Confidence < confirmConfidence {
+			continue
+		}
+		if sh.f.ex.transferIn(c.Kind, ev.Instance) {
+			if st := sh.f.byID[ev.Instance]; st != nil {
+				st.transfers.Add(1)
+			}
+		}
+	}
+}
+
+// onHealthy receives healthy-period fact bases from low-confidence
+// diagnoses; they join the epoch of the event that produced them.
+func (sh *shard) onHealthy(ev monitor.SlowdownEvent, fb *symptoms.FactBase) {
+	if sh.f.cfg.Learn.Disabled {
+		return
+	}
+	sh.f.ex.depositHealthy(epochOf(ev.ReadWindow.End, sh.f.cfg.Learn.Epoch), fb)
+}

@@ -14,6 +14,171 @@ const (
 	sequentialIOKB = 64
 )
 
+// poolAt keys a pool-level memo entry at one sampling instant.
+type poolAt struct {
+	pool topology.ID
+	t    simtime.Time
+}
+
+// poolWin keys a pool-level memo entry for one averaging window.
+type poolWin struct {
+	pool       topology.ID
+	start, end simtime.Time
+}
+
+// activePool is a memoized activeDisksOf result.
+type activePool struct {
+	disks     []topology.ID
+	allFailed bool
+}
+
+// poolRW holds a pool's volume-summed mean IOPS over one window.
+type poolRW struct {
+	read, write float64
+}
+
+// emitMemo caches pool-level intermediates across the series of one
+// EmitMetrics call. Every series samples the same time grid, so without
+// the memo each (pool, instant) utilization is recomputed once per
+// volume series and each pool demand once per disk series. The memoized
+// methods mirror their Model counterparts operation for operation —
+// including float accumulation order — so they replay the exact values
+// the unmemoized queries would produce. The memo lives for one
+// EmitMetrics call on one goroutine (the Sampler contract is already
+// single-goroutine), so no locking.
+type emitMemo struct {
+	m      *Model
+	active map[poolAt]activePool
+	demand map[poolAt]float64 // volumeDemand over the active set
+	util   map[poolAt]float64 // PoolUtilization
+	rw     map[poolWin]poolRW // per-volume MeanOver sums
+}
+
+func newEmitMemo(m *Model) *emitMemo {
+	return &emitMemo{
+		m:      m,
+		active: make(map[poolAt]activePool),
+		demand: make(map[poolAt]float64),
+		util:   make(map[poolAt]float64),
+		rw:     make(map[poolWin]poolRW),
+	}
+}
+
+func (em *emitMemo) activeDisks(pool topology.ID, t simtime.Time) activePool {
+	k := poolAt{pool, t}
+	if a, ok := em.active[k]; ok {
+		return a
+	}
+	disks, allFailed := em.m.activeDisksOf(pool, t)
+	a := activePool{disks, allFailed}
+	em.active[k] = a
+	return a
+}
+
+func (em *emitMemo) volumeDemand(pool topology.ID, t simtime.Time, n float64) float64 {
+	k := poolAt{pool, t}
+	if d, ok := em.demand[k]; ok {
+		return d
+	}
+	d := em.m.volumeDemand(pool, t, n)
+	em.demand[k] = d
+	return d
+}
+
+// poolUtilization mirrors Model.PoolUtilization.
+func (em *emitMemo) poolUtilization(pool topology.ID, t simtime.Time) float64 {
+	k := poolAt{pool, t}
+	if u, ok := em.util[k]; ok {
+		return u
+	}
+	var u float64
+	a := em.activeDisks(pool, t)
+	switch {
+	case len(a.disks) == 0:
+		u = 0
+	case a.allFailed:
+		u = 1
+	default:
+		n := float64(len(a.disks))
+		share := em.volumeDemand(pool, t, n)
+		var sum float64
+		for _, d := range a.disks {
+			sum += share + em.m.diskUtil.At(diskKey(d), t)
+		}
+		u = sum / n
+	}
+	em.util[k] = u
+	return u
+}
+
+// diskUtilization mirrors Model.DiskUtilization.
+func (em *emitMemo) diskUtilization(disk topology.ID, t simtime.Time) float64 {
+	m := em.m
+	pool := m.cfg.Parent(disk)
+	if pool == "" {
+		return 0
+	}
+	if !m.diskActive(disk, t) {
+		return 1
+	}
+	a := em.activeDisks(pool, t)
+	n := float64(len(a.disks))
+	if n == 0 {
+		return 1
+	}
+	return em.volumeDemand(pool, t, n) + m.diskUtil.At(diskKey(disk), t)
+}
+
+// readResponse mirrors Model.ReadResponse.
+func (em *emitMemo) readResponse(vol topology.ID, t simtime.Time, sequential bool) simtime.Duration {
+	m := em.m
+	svc := m.params.RandomReadService
+	if sequential {
+		svc = m.params.SequentialReadService
+	}
+	pool := m.cfg.PoolOf(vol)
+	if pool == "" {
+		return svc
+	}
+	return simtime.Duration(float64(svc) * m.queueFactor(em.poolUtilization(pool, t)))
+}
+
+// writeResponse mirrors Model.WriteResponse.
+func (em *emitMemo) writeResponse(vol topology.ID, t simtime.Time) simtime.Duration {
+	m := em.m
+	pool := m.cfg.PoolOf(vol)
+	if pool == "" {
+		return m.params.WriteService
+	}
+	return simtime.Duration(float64(m.params.WriteService) * m.queueFactor(em.poolUtilization(pool, t)))
+}
+
+// poolIOPS sums the pool volumes' mean read and write IOPS over w, each
+// accumulated in volume order exactly as the per-metric loops did.
+func (em *emitMemo) poolIOPS(pool topology.ID, w simtime.Interval) poolRW {
+	k := poolWin{pool, w.Start, w.End}
+	if v, ok := em.rw[k]; ok {
+		return v
+	}
+	var v poolRW
+	m := em.m
+	for _, vol := range m.cfg.VolumesInPool(pool) {
+		v.read += m.reads.MeanOver(volKey(vol), w)
+		v.write += m.writes.MeanOver(volKey(vol), w)
+	}
+	em.rw[k] = v
+	return v
+}
+
+// meanPoolWriteIOPS mirrors Model.MeanPoolWriteIOPS.
+func (em *emitMemo) meanPoolWriteIOPS(vol topology.ID, w simtime.Interval) float64 {
+	pool := em.m.cfg.PoolOf(vol)
+	if pool == "" {
+		return em.m.MeanWriteIOPS(vol, w)
+	}
+	return em.poolIOPS(pool, w).write
+}
+
 // EmitMetrics samples the model's ground-truth behaviour over iv and
 // records the monitoring series a storage management tool would collect:
 // per-volume rates and response times (including the writeIO/writeTime
@@ -27,6 +192,7 @@ const (
 // can be missed entirely, another realistic monitoring inaccuracy.
 func (m *Model) EmitMetrics(store *metrics.Store, sp *metrics.Sampler, iv simtime.Interval) {
 	cfg := m.cfg
+	em := newEmitMemo(m)
 	for _, vol := range cfg.All(topology.KindVolume) {
 		vol := vol
 		comp := string(vol)
@@ -39,16 +205,16 @@ func (m *Model) EmitMetrics(store *metrics.Store, sp *metrics.Sampler, iv simtim
 		// the paper's Table 2 shows V1's writeIO anomalous under V'
 		// contention although the database itself writes nothing to V1.
 		sp.RecordWindowMean(store, comp, metrics.VolWriteIO, iv, func(w simtime.Interval) float64 {
-			return m.MeanPoolWriteIOPS(vol, w)
+			return em.meanPoolWriteIOPS(vol, w)
 		})
 		sp.RecordWindowMean(store, comp, metrics.StContaminatingWr, iv, func(w simtime.Interval) float64 {
-			return m.MeanPoolWriteIOPS(vol, w) - m.MeanWriteIOPS(vol, w)
+			return em.meanPoolWriteIOPS(vol, w) - m.MeanWriteIOPS(vol, w)
 		})
 		sp.Record(store, comp, metrics.VolReadTime, iv, func(t simtime.Time) float64 {
-			return float64(m.ReadResponse(vol, t, false)) * 1000 // ms
+			return float64(em.readResponse(vol, t, false)) * 1000 // ms
 		})
 		sp.Record(store, comp, metrics.VolWriteTime, iv, func(t simtime.Time) float64 {
-			return float64(m.WriteResponse(vol, t)) * 1000 // ms
+			return float64(em.writeResponse(vol, t)) * 1000 // ms
 		})
 		sp.RecordWindowMean(store, comp, metrics.StBytesRead, iv, func(w simtime.Interval) float64 {
 			seq := m.MeanSeqReadIOPS(vol, w)
@@ -71,19 +237,15 @@ func (m *Model) EmitMetrics(store *metrics.Store, sp *metrics.Sampler, iv simtim
 		pool := cfg.Parent(disk)
 		share := func(w simtime.Interval, read bool) float64 {
 			mid := w.Start.Add(w.Length() / 2)
-			n := float64(len(m.activeDisks(pool, mid)))
+			n := float64(len(em.activeDisks(pool, mid).disks))
 			if n == 0 || !m.diskActive(disk, mid) {
 				return 0
 			}
-			var sum float64
-			for _, v := range cfg.VolumesInPool(pool) {
-				if read {
-					sum += m.MeanReadIOPS(v, w)
-				} else {
-					sum += m.MeanWriteIOPS(v, w)
-				}
+			rw := em.poolIOPS(pool, w)
+			if read {
+				return rw.read / n
 			}
-			return sum / n
+			return rw.write / n
 		}
 		sp.RecordWindowMean(store, comp, metrics.StPhysReadOps, iv, func(w simtime.Interval) float64 {
 			return share(w, true)
@@ -92,10 +254,10 @@ func (m *Model) EmitMetrics(store *metrics.Store, sp *metrics.Sampler, iv simtim
 			return share(w, false)
 		})
 		sp.Record(store, comp, metrics.StPhysReadTime, iv, func(t simtime.Time) float64 {
-			return float64(m.params.RandomReadService) * m.queueFactor(m.DiskUtilization(disk, t)) * 1000
+			return float64(m.params.RandomReadService) * m.queueFactor(em.diskUtilization(disk, t)) * 1000
 		})
 		sp.Record(store, comp, metrics.StPhysWriteTime, iv, func(t simtime.Time) float64 {
-			return float64(m.params.WriteService) * m.queueFactor(m.DiskUtilization(disk, t)) * 1000
+			return float64(m.params.WriteService) * m.queueFactor(em.diskUtilization(disk, t)) * 1000
 		})
 		sp.RecordWindowMean(store, comp, metrics.StTotalIOs, iv, func(w simtime.Interval) float64 {
 			return share(w, true) + share(w, false)

@@ -77,8 +77,11 @@ func (m *Model) Config() *topology.Config { return m.cfg }
 // Params returns the disk parameters.
 func (m *Model) Params() DiskParams { return m.params }
 
-func volKey(v topology.ID) string  { return "vol:" + string(v) }
-func diskKey(d topology.ID) string { return "disk:" + string(d) }
+// Timeline keys are the component IDs themselves: each metric lives in its
+// own Timeline, so volume and disk IDs cannot collide and the conversion
+// stays allocation-free on the query path.
+func volKey(v topology.ID) string  { return string(v) }
+func diskKey(d topology.ID) string { return string(d) }
 
 // AddLoad applies an I/O load to a volume.
 func (m *Model) AddLoad(l Load) {
@@ -108,6 +111,13 @@ func (m *Model) diskActive(disk topology.ID, t simtime.Time) bool {
 // failed it returns the full set to avoid division by zero; the pool is
 // then fully saturated anyway.
 func (m *Model) activeDisks(pool topology.ID, t simtime.Time) []topology.ID {
+	disks, _ := m.activeDisksOf(pool, t)
+	return disks
+}
+
+// activeDisksOf is activeDisks plus a flag for the every-disk-failed
+// fallback, so callers need not re-probe the outage timeline per disk.
+func (m *Model) activeDisksOf(pool topology.ID, t simtime.Time) ([]topology.ID, bool) {
 	disks := m.cfg.ChildrenOfKind(pool, topology.KindDisk)
 	var active []topology.ID
 	for _, d := range disks {
@@ -116,9 +126,9 @@ func (m *Model) activeDisks(pool topology.ID, t simtime.Time) []topology.ID {
 		}
 	}
 	if len(active) == 0 {
-		return disks
+		return disks, true
 	}
-	return active
+	return active, false
 }
 
 // VolumeReadIOPS returns the total read IOPS applied to vol at t.
@@ -166,13 +176,30 @@ func (m *Model) MeanPoolWriteIOPS(vol topology.ID, iv simtime.Interval) float64 
 }
 
 // volumeSeqFrac returns the sequential fraction of vol's reads at t.
-func (m *Model) volumeSeqFrac(vol topology.ID, t simtime.Time) float64 {
-	r := m.reads.At(volKey(vol), t)
+// r is the volume's read IOPS at t, passed in so callers that already
+// queried the read timeline don't pay for a second lookup.
+func (m *Model) volumeSeqFrac(vol topology.ID, t simtime.Time, r float64) float64 {
 	if r <= 0 {
 		return 0
 	}
 	f := m.seqReads.At(volKey(vol), t) / r
 	return math.Min(1, math.Max(0, f))
+}
+
+// volumeDemand returns the per-disk service demand of the pool's volumes
+// at t when their load spreads across n in-service disks. Every active
+// disk of a pool shares this term; only direct disk load differs per disk.
+func (m *Model) volumeDemand(pool topology.ID, t simtime.Time, n float64) float64 {
+	var demand float64 // busy seconds per second
+	for _, vol := range m.cfg.VolumesInPool(pool) {
+		r := m.reads.At(volKey(vol), t)
+		w := m.writes.At(volKey(vol), t)
+		seq := m.volumeSeqFrac(vol, t, r)
+		readSvc := float64(m.params.RandomReadService)*(1-seq) +
+			float64(m.params.SequentialReadService)*seq
+		demand += (r*readSvc + w*float64(m.params.WriteService)) / n
+	}
+	return demand
 }
 
 // DiskUtilization returns the utilization of one disk at t: the summed
@@ -190,31 +217,29 @@ func (m *Model) DiskUtilization(disk topology.ID, t simtime.Time) float64 {
 	if n == 0 {
 		return 1
 	}
-	var demand float64 // busy seconds per second
-	for _, vol := range m.cfg.VolumesInPool(pool) {
-		r := m.reads.At(volKey(vol), t)
-		w := m.writes.At(volKey(vol), t)
-		seq := m.volumeSeqFrac(vol, t)
-		readSvc := float64(m.params.RandomReadService)*(1-seq) +
-			float64(m.params.SequentialReadService)*seq
-		demand += (r*readSvc + w*float64(m.params.WriteService)) / n
-	}
-	demand += m.diskUtil.At(diskKey(disk), t)
-	return demand
+	return m.volumeDemand(pool, t, n) + m.diskUtil.At(diskKey(disk), t)
 }
 
 // PoolUtilization returns the mean utilization across a pool's in-service
-// disks at t.
+// disks at t. The shared volume-demand term is computed once for the pool
+// rather than once per disk, so the cost is O(disks + volumes) instead of
+// O(disks × volumes); per-disk results match DiskUtilization exactly.
 func (m *Model) PoolUtilization(pool topology.ID, t simtime.Time) float64 {
-	disks := m.activeDisks(pool, t)
+	disks, allFailed := m.activeDisksOf(pool, t)
 	if len(disks) == 0 {
 		return 0
 	}
+	if allFailed {
+		// Every disk reports utilization 1, so the mean is exactly 1.
+		return 1
+	}
+	n := float64(len(disks))
+	share := m.volumeDemand(pool, t, n)
 	var sum float64
 	for _, d := range disks {
-		sum += m.DiskUtilization(d, t)
+		sum += share + m.diskUtil.At(diskKey(d), t)
 	}
-	return sum / float64(len(disks))
+	return sum / n
 }
 
 // queueFactor converts utilization into the M/M/1 response multiplier

@@ -165,11 +165,23 @@ func topCauseOf(res *diag.Result) (kind, subject string, confidence, impact floa
 // built on top of it must never flutter between runs.
 func (r *Registry) Incidents() []Incident {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]Incident, 0, len(r.open))
 	for _, inc := range r.open {
 		out = append(out, *inc)
 	}
+	r.mu.Unlock()
+	SortIncidents(out)
+	return out
+}
+
+// SortIncidents sorts incidents into the registry's ranking order:
+// estimated impact descending, ties broken by recency then the full
+// stable identity (instance, query, kind, subject). It is exported so
+// the sharded fleet can merge per-shard registries into one fleet-wide
+// ranking under exactly the contract Incidents guarantees — concatenate,
+// sort, and the result is byte-stable regardless of which shard each
+// incident came from.
+func SortIncidents(out []Incident) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].EstImpact() != out[j].EstImpact() {
 			return out[i].EstImpact() > out[j].EstImpact()
@@ -188,7 +200,6 @@ func (r *Registry) Incidents() []Incident {
 		}
 		return out[i].Subject < out[j].Subject
 	})
-	return out
 }
 
 // Len returns the number of open incidents.

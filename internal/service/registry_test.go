@@ -1,0 +1,46 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"diads/internal/simtime"
+)
+
+// TestSortIncidentsFullTieBreak is the merge regression test for the
+// sharded fleet: SortIncidents must be a total order over the full
+// incident identity — impact, recency, then instance, query, kind,
+// subject — so concatenating per-shard registries and sorting yields
+// one ranking no matter how the incidents were partitioned. Each
+// adjacent pair below ties on every key before the one that separates
+// it, covering the whole chain (the registry's own tie test never
+// varies the query).
+func TestSortIncidentsFullTieBreak(t *testing.T) {
+	mk := func(inst, query, kind, subject string, extra simtime.Duration, last simtime.Time) Incident {
+		return Incident{
+			Instance: inst, Query: query, Kind: kind, Subject: subject,
+			ImpactPct: 100, TotalExtra: extra, LastSeen: last,
+		}
+	}
+	want := []Incident{
+		mk("i1", "Q2", "k1", "s1", 20, 100), // impact 20s beats everything below
+		mk("i1", "Q2", "k1", "s1", 10, 200), // impact ties: most recent first
+		mk("i0", "Q9", "k9", "s9", 10, 100), // recency ties: instance ascending
+		mk("i1", "Q1", "k9", "s9", 10, 100), // instance ties: query ascending
+		mk("i1", "Q2", "k0", "s9", 10, 100), // query ties: kind ascending
+		mk("i1", "Q2", "k1", "s0", 10, 100), // kind ties: subject ascending
+		mk("i1", "Q2", "k1", "s1", 10, 100),
+	}
+	// Sort every rotation of the expected order, simulating different
+	// shard partitions of the same incidents; a total order must
+	// reproduce the identical ranking each time.
+	for rot := 0; rot < len(want); rot++ {
+		in := make([]Incident, 0, len(want))
+		in = append(in, want[rot:]...)
+		in = append(in, want[:rot]...)
+		SortIncidents(in)
+		if !reflect.DeepEqual(in, want) {
+			t.Fatalf("rotation %d: merged ranking diverged\n got: %+v\nwant: %+v", rot, in, want)
+		}
+	}
+}

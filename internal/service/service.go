@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,12 @@ type Config struct {
 	// ResultCacheSize bounds the completed-diagnosis cache that absorbs
 	// re-submissions of an already-diagnosed (query, window) (default 128).
 	ResultCacheSize int
+	// ShardLabel, when non-empty, labels this service's scrape-time
+	// callback metrics (queue depth, cache counters) with {"shard": v}.
+	// A sharded fleet constructs one service per shard; without the
+	// label, each registration would replace the previous shard's series.
+	// Standalone services leave it empty and keep the unlabeled series.
+	ShardLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +108,36 @@ type jobKey struct {
 	instance string
 	query    string
 	window   simtime.Interval // the event's evidence read window
+}
+
+// pendingStripes fans the dedup set out over independently locked
+// stripes, so concurrent Submits for different keys stop serializing on
+// one service-wide mutex (the contention the inst=8 bench exposed).
+const pendingStripes = 16
+
+type pendingStripe struct {
+	mu sync.Mutex
+	m  map[jobKey]bool
+}
+
+// stripe hashes the key (FNV-1a, inline so the hot path allocates
+// nothing) onto its dedup stripe.
+func (k jobKey) stripe() int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.instance); i++ {
+		h = (h ^ uint64(k.instance[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("a","bc") != ("ab","c")
+	for i := 0; i < len(k.query); i++ {
+		h = (h ^ uint64(k.query[i])) * prime64
+	}
+	h = (h ^ math.Float64bits(float64(k.window.Start))) * prime64
+	h = (h ^ math.Float64bits(float64(k.window.End))) * prime64
+	return int(h % pendingStripes)
 }
 
 type job struct {
@@ -210,12 +247,21 @@ type Service struct {
 	// it before Start.
 	Self SelfObserver
 
-	jobs    chan job
-	quit    chan struct{} // closed by Stop; retires the ctx watcher
-	mu      sync.Mutex
-	idle    sync.Cond       // signaled when pending drains
-	pending map[jobKey]bool // queued or running
-	stopped bool
+	jobs chan job
+	quit chan struct{} // closed by Stop; retires the ctx watcher
+	// sendMu serializes enqueues against Stop's close of the jobs
+	// channel: Submit sends under the read lock, Stop closes under the
+	// write lock after flipping stopped, so no send can hit a closed
+	// channel. Reads share the lock, so Submits never contend with each
+	// other here.
+	sendMu  sync.RWMutex
+	stopped atomic.Bool
+	// pending is the striped queued-or-running dedup set; inflight
+	// counts its members so Wait does not have to sweep the stripes.
+	pending  [pendingStripes]pendingStripe
+	inflight atomic.Int64
+	idleMu   sync.Mutex
+	idle     sync.Cond // signaled under idleMu when inflight drains to 0
 
 	apgs    *cache.LRU[string, *apg.APG]
 	sd      *cache.LRU[string, []symptoms.CauseInstance]
@@ -241,7 +287,6 @@ func New(env Env, cfg Config) *Service {
 		env:      env,
 		jobs:     make(chan job, cfg.Queue),
 		quit:     make(chan struct{}),
-		pending:  make(map[jobKey]bool),
 		apgs:     cache.New[string, *apg.APG](cfg.APGCacheSize),
 		sd:       cache.New[string, []symptoms.CauseInstance](cfg.SDCacheSize),
 		results:  cache.New[jobKey, *diag.Result](cfg.ResultCacheSize),
@@ -249,7 +294,10 @@ func New(env Env, cfg Config) *Service {
 		modstats: make(map[string]*ModuleStat),
 		tel:      newServiceTelemetry(),
 	}
-	s.idle.L = &s.mu
+	for i := range s.pending {
+		s.pending[i].m = make(map[jobKey]bool)
+	}
+	s.idle.L = &s.idleMu
 	s.registerFuncs()
 	return s
 }
@@ -257,13 +305,21 @@ func New(env Env, cfg Config) *Service {
 // registerFuncs installs the scrape-time callbacks: instantaneous queue
 // depth and the shared caches' lifetime hit/miss/eviction totals (the
 // counters PR 4 dropped from OnlineResult.Render re-surface here).
-// Re-registering replaces the callback, so the newest service owns the
-// series — tests and restarting daemons construct many services.
+// Re-registering replaces the callback for a given (name, labels)
+// series, so the newest service owns it — tests and restarting daemons
+// construct many services. A sharded fleet sets Config.ShardLabel so
+// each shard's service keeps its own series instead of replacing its
+// siblings'; standalone services keep the unlabeled series the
+// telemetry smoke test requires.
 func (s *Service) registerFuncs() {
 	reg := telemetry.Default()
+	var shard telemetry.Labels
+	if s.cfg.ShardLabel != "" {
+		shard = telemetry.Labels{"shard": s.cfg.ShardLabel}
+	}
 	reg.GaugeFunc("diads_service_queue_depth",
 		"Diagnosis jobs currently waiting in the queue.",
-		nil, func() float64 { return float64(len(s.jobs)) })
+		shard, func() float64 { return float64(len(s.jobs)) })
 	caches := map[string]func() cache.CacheStats{
 		"apg":    s.apgs.Stats,
 		"sd":     s.sd.Stats,
@@ -271,6 +327,9 @@ func (s *Service) registerFuncs() {
 	}
 	for name, statsOf := range caches {
 		labels := telemetry.Labels{"cache": name}
+		if s.cfg.ShardLabel != "" {
+			labels["shard"] = s.cfg.ShardLabel
+		}
 		statsOf := statsOf
 		reg.CounterFunc("diads_cache_hits_total",
 			"Shared diagnosis-cache hits.", labels,
@@ -334,11 +393,8 @@ func (s *Service) Start(ctx context.Context) {
 	go func() {
 		select {
 		case <-ctx.Done():
-			s.mu.Lock()
-			s.stopped = true
-			clear(s.pending)
-			s.idle.Broadcast()
-			s.mu.Unlock()
+			s.stopped.Store(true)
+			s.drainPending()
 		case <-s.quit:
 		}
 	}()
@@ -350,28 +406,64 @@ func (s *Service) Start(ctx context.Context) {
 // abandoned and removed from the pending set so Wait cannot block on
 // them.
 func (s *Service) Stop() {
-	s.mu.Lock()
-	already := s.stopped
-	s.stopped = true
-	s.mu.Unlock()
-	if !already {
+	if !s.stopped.Swap(true) {
 		close(s.quit)
+		// The write lock excludes every in-flight Submit send; any
+		// Submit arriving after sees stopped and never reaches the
+		// channel, so the close below cannot race a send.
+		s.sendMu.Lock()
 		close(s.jobs)
+		s.sendMu.Unlock()
 	}
 	s.wg.Wait()
-	s.mu.Lock()
-	clear(s.pending)
-	s.idle.Broadcast()
-	s.mu.Unlock()
+	s.drainPending()
+}
+
+// drainPending abandons every queued-or-running reservation: stripes are
+// cleared and the inflight count settled so Wait cannot block on work
+// nothing will ever run. Workers racing a drain are harmless — finish's
+// membership check makes the decrement exactly-once per key.
+func (s *Service) drainPending() {
+	for i := range s.pending {
+		st := &s.pending[i]
+		st.mu.Lock()
+		n := len(st.m)
+		clear(st.m)
+		st.mu.Unlock()
+		if n > 0 && s.inflight.Add(int64(-n)) <= 0 {
+			s.idleMu.Lock()
+			s.idle.Broadcast()
+			s.idleMu.Unlock()
+		}
+	}
+}
+
+// finish releases a key's queued-or-running reservation. The membership
+// check keeps the inflight decrement exactly-once when a worker's
+// deferred finish races drainPending.
+func (s *Service) finish(key jobKey) {
+	st := &s.pending[key.stripe()]
+	st.mu.Lock()
+	was := st.m[key]
+	delete(st.m, key)
+	st.mu.Unlock()
+	if !was {
+		return
+	}
+	if s.inflight.Add(-1) == 0 {
+		s.idleMu.Lock()
+		s.idle.Broadcast()
+		s.idleMu.Unlock()
+	}
 }
 
 // Wait blocks until every currently queued job has been diagnosed. It is
 // a quiescence barrier for drivers that interleave submission and
 // reporting; new Submits remain allowed.
 func (s *Service) Wait() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.pending) > 0 {
+	s.idleMu.Lock()
+	defer s.idleMu.Unlock()
+	for s.inflight.Load() > 0 {
 		s.idle.Wait()
 	}
 }
@@ -379,43 +471,60 @@ func (s *Service) Wait() {
 // Submit enqueues a diagnosis job for the event. It never blocks: a full
 // queue returns ErrBackpressure, an already-pending or already-diagnosed
 // (query, window) returns ErrDuplicate (bumping the incident's
-// recurrence when a cached result exists).
+// recurrence when a cached result exists). The hot path takes only the
+// key's dedup stripe and a shared read lock — no service-wide mutex.
 func (s *Service) Submit(ev monitor.SlowdownEvent) error {
 	s.submitted.Add(1)
 	s.tel.submitted.Inc()
 	key := jobKey{instance: ev.Instance, query: ev.Query, window: ev.ReadWindow}
 
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if s.stopped.Load() {
 		return ErrStopped
 	}
-	if s.pending[key] {
-		s.mu.Unlock()
+	// Reserve the key first, then consult the result cache. The
+	// reservation makes concurrent same-key Submits mutually exclusive,
+	// and because run() caches the result before releasing its
+	// reservation, a reservation acquired here after a completed run is
+	// guaranteed to see that run's cached result below.
+	st := &s.pending[key.stripe()]
+	st.mu.Lock()
+	if st.m[key] {
+		st.mu.Unlock()
 		s.deduped.Add(1)
 		s.tel.deduped.Inc()
 		s.span(ev.TraceID, "service.submit", attr("outcome", "deduped-pending"))
 		return ErrDuplicate
 	}
+	st.m[key] = true
+	s.inflight.Add(1)
+	st.mu.Unlock()
+
 	if res, ok := s.results.Get(key); ok {
-		s.mu.Unlock()
+		s.finish(key)
 		s.deduped.Add(1)
 		s.tel.deduped.Inc()
 		s.span(ev.TraceID, "service.submit", attr("outcome", "deduped-cached"))
 		s.reg.Record(ev, res) // recurrence of a known incident
 		return ErrDuplicate
 	}
-	// The enqueue happens under the mutex so it cannot race Stop's
-	// close of the channel: Stop flips stopped before closing, and
-	// every Submit re-checks stopped under the same lock.
+
+	// Send under the read lock so the enqueue cannot race Stop's close:
+	// Stop flips stopped before taking the write lock, so once we hold
+	// the read lock a false stopped check proves the channel is open.
+	s.sendMu.RLock()
+	if s.stopped.Load() {
+		s.sendMu.RUnlock()
+		s.finish(key)
+		return ErrStopped
+	}
 	select {
 	case s.jobs <- job{key: key, ev: ev, enqueued: time.Now()}:
-		s.pending[key] = true
-		s.mu.Unlock()
+		s.sendMu.RUnlock()
 		s.span(ev.TraceID, "service.submit", attr("outcome", "enqueued"))
 		return nil
 	default:
-		s.mu.Unlock()
+		s.sendMu.RUnlock()
+		s.finish(key)
 		s.rejected.Add(1)
 		s.tel.rejected.Inc()
 		s.span(ev.TraceID, "service.submit", attr("outcome", "rejected"))
@@ -448,14 +557,11 @@ func (s *Service) worker(ctx context.Context) {
 	}
 }
 
-// run executes one diagnosis job.
+// run executes one diagnosis job. The deferred finish releases the
+// dedup reservation only after every code path below — in particular
+// after results.Put — so Submit's reserve-then-lookup ordering holds.
 func (s *Service) run(ctx context.Context, j job) {
-	defer func() {
-		s.mu.Lock()
-		delete(s.pending, j.key)
-		s.idle.Broadcast()
-		s.mu.Unlock()
-	}()
+	defer s.finish(j.key)
 
 	wait := time.Since(j.enqueued)
 	s.tel.queueWait.Observe(wait.Seconds())

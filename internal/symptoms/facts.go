@@ -68,6 +68,12 @@ func (fb *FactBase) AddTimed(name string, score float64, t simtime.Time) {
 // colon-separated segments; a segment of "*" matches any single segment,
 // and a trailing "*" segment matches any remaining segments.
 func (fb *FactBase) Match(pattern string) []Fact {
+	if literalPattern(pattern) {
+		if f, ok := fb.facts[pattern]; ok {
+			return []Fact{f}
+		}
+		return nil
+	}
 	var out []Fact
 	for name, f := range fb.facts {
 		if MatchPattern(pattern, name) {
@@ -79,10 +85,16 @@ func (fb *FactBase) Match(pattern string) []Fact {
 }
 
 // MaxScore returns the highest score among matching facts (0 if none).
+// The maximum is order-independent, so the scan needs neither the sorted
+// copy Match builds nor any allocation — this is the innermost call of
+// both symptom evaluation and the miner's background filter.
 func (fb *FactBase) MaxScore(pattern string) float64 {
+	if literalPattern(pattern) {
+		return fb.facts[pattern].Score
+	}
 	var max float64
-	for _, f := range fb.Match(pattern) {
-		if f.Score > max {
+	for name, f := range fb.facts {
+		if f.Score > max && MatchPattern(pattern, name) {
 			max = f.Score
 		}
 	}
@@ -91,8 +103,11 @@ func (fb *FactBase) MaxScore(pattern string) float64 {
 
 // Exists reports whether any fact matches the pattern with score > 0.
 func (fb *FactBase) Exists(pattern string) bool {
-	for _, f := range fb.Match(pattern) {
-		if f.Score > 0 {
+	if literalPattern(pattern) {
+		return fb.facts[pattern].Score > 0
+	}
+	for name, f := range fb.facts {
+		if f.Score > 0 && MatchPattern(pattern, name) {
 			return true
 		}
 	}
@@ -101,10 +116,14 @@ func (fb *FactBase) Exists(pattern string) bool {
 
 // EarliestT returns the earliest timestamp among matching timed facts.
 func (fb *FactBase) EarliestT(pattern string) (simtime.Time, bool) {
+	if literalPattern(pattern) {
+		f, ok := fb.facts[pattern]
+		return f.T, ok && f.HasT
+	}
 	var best simtime.Time
 	found := false
-	for _, f := range fb.Match(pattern) {
-		if !f.HasT {
+	for name, f := range fb.facts {
+		if !f.HasT || !MatchPattern(pattern, name) {
 			continue
 		}
 		if !found || f.T < best {
@@ -154,24 +173,48 @@ func (fb *FactBase) String() string {
 	return b.String()
 }
 
+// literalPattern reports whether a pattern has no wildcard segment, in
+// which case matching degenerates to string equality and fact lookup is
+// a direct map access. (A '*' embedded in a longer segment is a literal
+// character, not a wildcard, so the only false negatives here are
+// patterns with a literal-'*' segment — they just take the general path.)
+func literalPattern(pattern string) bool {
+	return !strings.Contains(pattern, "*")
+}
+
 // MatchPattern reports whether a colon-segmented glob pattern matches a
-// fact name.
+// fact name. It walks both strings segment by segment without splitting,
+// so the per-call cost is one pass and zero allocations — it sits inside
+// every symptoms-database evaluation and miner background scan.
 func MatchPattern(pattern, name string) bool {
-	ps := strings.Split(pattern, ":")
-	ns := strings.Split(name, ":")
-	for i, p := range ps {
-		if p == "*" && i == len(ps)-1 {
-			return len(ns) >= i // trailing * matches the rest (even empty)
+	nameDone := false // name has no segments left
+	for {
+		pi := strings.IndexByte(pattern, ':')
+		lastP := pi < 0
+		var p string
+		if lastP {
+			p = pattern
+		} else {
+			p, pattern = pattern[:pi], pattern[pi+1:]
 		}
-		if i >= len(ns) {
+		if p == "*" && lastP {
+			return true // trailing * matches the rest (even empty)
+		}
+		if nameDone {
 			return false
 		}
-		if p == "*" {
-			continue
+		ni := strings.IndexByte(name, ':')
+		var n string
+		if ni < 0 {
+			n, nameDone = name, true
+		} else {
+			n, name = name[:ni], name[ni+1:]
 		}
-		if p != ns[i] {
+		if p != "*" && p != n {
 			return false
+		}
+		if lastP {
+			return nameDone // both must run out of segments together
 		}
 	}
-	return len(ps) == len(ns)
 }
