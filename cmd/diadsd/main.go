@@ -21,6 +21,16 @@
 // union of old and newly-installed entries back afterwards, so learned
 // knowledge persists across daemon runs.
 //
+// Serving mode: -listen ADDR skips the simulator entirely and serves
+// the HTTP ingest/query/operator API — external clients POST samples,
+// runs, and configuration events per tenant instance, diagnoses run
+// against the posted evidence, and incidents/candidates/modules are
+// queried back over the same mux, which also carries the full telemetry
+// surface (/metrics, /healthz, /readyz, /traces, /debug/pprof). On
+// SIGINT/SIGTERM the daemon drains: ingest returns 503, in-flight
+// diagnoses finish, -learned is flushed, and the listener closes. See
+// API.md for the wire contract.
+//
 // Telemetry: every layer instruments the process-wide registry, and
 // -telemetry ADDR serves it while the daemon runs — /metrics (Prometheus
 // text), /healthz, /traces (per-slowdown span streams), and
@@ -39,6 +49,7 @@
 //	diadsd -instances N [-degraded M] [-seed S] [-workers N] [-chunk MIN] [-runs N]
 //	       [-review] [-ack KIND,KIND] [-learned FILE]
 //	diadsd -telemetry 127.0.0.1:9090 [-log-json] [-linger] ...
+//	diadsd -listen 127.0.0.1:8080 [-seed S] [-workers N] [-learned FILE] [-log-json]
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"strings"
 	"syscall"
 
+	"diads/internal/api"
 	"diads/internal/console"
 	"diads/internal/experiments"
 	"diads/internal/fleet"
@@ -77,6 +89,7 @@ func main() {
 	ack := flag.String("ack", "", "comma-separated mined kinds the operator accepts (implies -review)")
 	learned := flag.String("learned", "", "DSL file to load learned symptom entries from and persist installed ones to")
 	quiet := flag.Bool("quiet", false, "suppress per-event output")
+	listen := flag.String("listen", "", "serve the HTTP ingest/query/operator API on this address instead of simulating (e.g. 127.0.0.1:8080)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /healthz, /traces, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	logJSON := flag.Bool("log-json", false, "emit structured events as JSON lines")
 	linger := flag.Bool("linger", false, "keep serving telemetry after the run until SIGINT/SIGTERM")
@@ -107,6 +120,26 @@ func main() {
 	self := selfmon.New(selfmon.Config{})
 
 	var err error
+	if *listen != "" {
+		// Serving mode has no simulator driving it, so every flag that
+		// shapes a simulated timeline is rejected rather than ignored.
+		// -telemetry too: the API listener carries the telemetry surface
+		// on the same mux.
+		for _, unsupported := range []string{"chunk", "report-every", "runs", "instances",
+			"shards", "degraded", "review", "ack", "quiet", "linger", "telemetry"} {
+			if set[unsupported] {
+				fmt.Fprintf(os.Stderr, "diadsd: -%s does not apply with -listen (the API serves posted evidence)\n", unsupported)
+				os.Exit(2)
+			}
+		}
+		if err := serve(*listen, *seed, *workers, *learned, self, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "diadsd:", err)
+			os.Exit(1)
+		}
+		drainSelf(self, logger)
+		fmt.Println(telemetry.RenderSnapshot(telemetry.Default().Snapshot()))
+		return
+	}
 	if *instances > 1 {
 		// The fleet runs to completion and prints one grouped report;
 		// flags that only shape the single-instance streaming loop are
@@ -166,6 +199,60 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+}
+
+// serve runs the HTTP serving surface until SIGINT/SIGTERM, then drains
+// gracefully: ingest stops (503), queued batches apply, in-flight
+// diagnoses finish, learned entries flush, and the listener closes.
+func serve(addr string, seed int64, workers int, learnedPath string,
+	self *selfmon.SelfMonitor, logger *slog.Logger) error {
+	symdb := symptoms.Builtin()
+	learned := symptoms.NewDB()
+	if learnedPath != "" {
+		db, err := loadLearned(learnedPath)
+		if err != nil {
+			return err
+		}
+		learned = db
+		for _, e := range learned.Entries() {
+			if err := symdb.Add(e); err != nil {
+				return fmt.Errorf("learned entry %s: %w", e.Kind, err)
+			}
+		}
+		logger.Info("loaded learned entries", "count", len(learned.Entries()), "path", learnedPath)
+	}
+	node := api.New(api.Config{
+		Seed:    seed,
+		Service: service.Config{Workers: workers},
+		SymDB:   symdb,
+	})
+	node.Service().Self = self
+	srv := telemetry.NewServer(addr, nil, nil)
+	node.Mount(srv)
+	bound, err := srv.Start()
+	if err != nil {
+		node.Shutdown()
+		return fmt.Errorf("listen: %w", err)
+	}
+	logger.Info("serving", "addr", bound,
+		"endpoints", "/v1/... /metrics /healthz /readyz /traces /debug/pprof")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Info("signal received, draining", "signal", s.String())
+	// Shutdown stops new ingest (503 draining), applies what was already
+	// queued, and waits out the diagnosis pool — so the flush below sees
+	// every candidate the accepted evidence could mine.
+	node.Shutdown()
+	if learnedPath != "" {
+		if err := saveLearned(learnedPath, learned, node.Learner().Stats(), logger); err != nil {
+			return err
+		}
+	}
+	srv.Close()
+	logger.Info("drained and stopped")
+	return nil
 }
 
 // drainSelf surfaces the dogfood loop's findings: slowdown events the

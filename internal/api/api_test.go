@@ -1,0 +1,461 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"diads/internal/experiments"
+	"diads/internal/fleet"
+	"diads/internal/metrics"
+	"diads/internal/service"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/telemetry"
+	"diads/internal/testbed"
+)
+
+const testSeed = 11
+
+// postJSON posts v to url and returns the response with its body read.
+func postJSON(t *testing.T, client *http.Client, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// simulateClient runs the online SAN-misconfiguration scenario locally —
+// the "real system" whose monitoring we serialize over the wire.
+func simulateClient(t *testing.T, seed int64, runs int) *experiments.OnlineEnv {
+	t.Helper()
+	env, err := experiments.BuildOnline(experiments.OnlineSpec{Seed: seed, Runs: runs})
+	if err != nil {
+		t.Fatalf("building online env: %v", err)
+	}
+	env.Testbed.Engine.OnRunComplete = nil // runs travel over the wire instead
+	if err := env.Testbed.Simulate(); err != nil {
+		t.Fatalf("simulating: %v", err)
+	}
+	return env
+}
+
+// faultEvents is the wire form of the SAN misconfiguration's
+// configuration events: what a real storage-management stack would post
+// when an operator carves V' from the victim pool.
+func faultEvents(onset simtime.Time) []WireEvent {
+	at := float64(onset)
+	return []WireEvent{
+		{T: at, Kind: "VolumeCreated", Subject: "vol-Vp", Detail: "volume V' created in pool-P1",
+			Pool: string(testbed.PoolP1), Name: "V'", SizeGB: 80},
+		{T: at + 30, Kind: "ZoneCreated", Subject: "vol-Vp", Detail: "zoning for host srv-app1"},
+		{T: at + 60, Kind: "LUNMapped", Subject: "vol-Vp", Detail: "LUN mapped to host srv-app1",
+			Server: string(testbed.ServerApp1)},
+		{T: at + 120, Kind: "WorkloadStarted", Subject: "vol-Vp", Detail: "external workload started on V'"},
+	}
+}
+
+// storeSamples serializes every series of the client store, globally
+// sorted by time — the posting order the watermark contract requires
+// (a watermark advance asserts every series is complete up to it).
+func storeSamples(tb *testbed.Testbed) []WireSample {
+	var out []WireSample
+	for _, k := range tb.Store.Keys() {
+		for _, s := range tb.Store.Series(k.Component, k.Metric) {
+			out = append(out, WireSampleOf(k.Component, k.Metric, s))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// TestEndToEndIngestDiagnosis is the tentpole acceptance test: a
+// diagnosed incident produced entirely from externally POSTed data —
+// no simulator on the serving side — retrievable from /v1/incidents,
+// with its trace visible in /traces.
+func TestEndToEndIngestDiagnosis(t *testing.T) {
+	env := simulateClient(t, testSeed, 16)
+	tb := env.Testbed
+
+	node := New(Config{Seed: testSeed})
+	defer node.Shutdown()
+	tsrv := telemetry.NewServer("127.0.0.1:0", nil, nil)
+	node.Mount(tsrv)
+	hs := httptest.NewServer(tsrv.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	// Not ready before the first watermark advance.
+	if resp := getJSON(t, client, hs.URL+"/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ingest = %d, want 503", resp.StatusCode)
+	}
+
+	// 1. Configuration events (the misconfiguration as a real
+	// storage-management stack would report it).
+	resp, body := postJSON(t, client, hs.URL+"/v1/ingest/events", EventBatch{
+		Tenant: "acme", Instance: "db-1", Events: faultEvents(env.Onset),
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("events: %d %s", resp.StatusCode, body)
+	}
+
+	// 2. Run records, batched like a monitoring agent would flush them.
+	runs := make([]WireRun, 0, len(tb.Runs))
+	for _, rec := range tb.Runs {
+		runs = append(runs, WireRunOf(rec))
+	}
+	const runChunk = 16
+	for i := 0; i < len(runs); i += runChunk {
+		end := min(i+runChunk, len(runs))
+		resp, body = postJSON(t, client, hs.URL+"/v1/ingest/runs", RunBatch{
+			Tenant: "acme", Instance: "db-1", Runs: runs[i:end],
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("runs[%d:%d]: %d %s", i, end, resp.StatusCode, body)
+		}
+	}
+
+	// 3. Metric samples; the final batch carries an explicit watermark
+	// past every gated event's read window.
+	samples := storeSamples(tb)
+	if len(samples) == 0 {
+		t.Fatal("client store produced no samples")
+	}
+	final := float64(env.Horizon.Add(2 * metrics.DefaultMonitorInterval))
+	const sampleChunk = 4096
+	for i := 0; i < len(samples); i += sampleChunk {
+		end := min(i+sampleChunk, len(samples))
+		b := SampleBatch{Tenant: "acme", Instance: "db-1", Samples: samples[i:end]}
+		if end == len(samples) {
+			b.Watermark = &final
+		}
+		resp, body = postJSON(t, client, hs.URL+"/v1/ingest/samples", b)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("samples[%d:%d]: %d %s", i, end, resp.StatusCode, body)
+		}
+	}
+
+	if err := node.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+
+	// Ready now.
+	if resp := getJSON(t, client, hs.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after ingest = %d, want 200", resp.StatusCode)
+	}
+
+	// The injected slowdown must surface as a diagnosed incident.
+	var list struct {
+		Incidents []IncidentView `json:"incidents"`
+	}
+	getJSON(t, client, hs.URL+"/v1/incidents", &list)
+	if len(list.Incidents) == 0 {
+		t.Fatalf("no incidents after ingest; service stats: %+v", node.Service().Stats())
+	}
+	var hit *IncidentView
+	for i := range list.Incidents {
+		inc := &list.Incidents[i]
+		if inc.Kind == symptoms.CauseSANMisconfig && inc.Tenant == "acme" && inc.Instance == "db-1" {
+			hit = inc
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no %s incident for acme/db-1 in %+v", symptoms.CauseSANMisconfig, list.Incidents)
+	}
+	if hit.Subject != string(testbed.VolV1) {
+		t.Errorf("incident subject = %q, want %q", hit.Subject, testbed.VolV1)
+	}
+
+	// Detail route by stable ID.
+	var detail struct {
+		Incident IncidentView `json:"incident"`
+		Causes   []CauseView  `json:"causes"`
+	}
+	if resp := getJSON(t, client, hs.URL+"/v1/incidents/"+hit.ID, &detail); resp.StatusCode != http.StatusOK {
+		t.Fatalf("incident detail = %d", resp.StatusCode)
+	}
+	if len(detail.Causes) == 0 {
+		t.Error("incident detail has no causes")
+	}
+
+	// The diagnosis trace is visible in /traces under the event's ID.
+	if hit.TraceID == "" {
+		t.Fatal("incident carries no trace ID")
+	}
+	var traces struct {
+		Spans []telemetry.Span `json:"spans"`
+	}
+	getJSON(t, client, hs.URL+"/traces?trace="+hit.TraceID, &traces)
+	var sawRelease, sawDiagnose bool
+	for _, sp := range traces.Spans {
+		switch sp.Name {
+		case "api.ingest.release":
+			sawRelease = true
+		case "service.diagnose":
+			sawDiagnose = true
+		}
+	}
+	if !sawRelease || !sawDiagnose {
+		t.Errorf("trace %s missing spans (release=%v diagnose=%v): %+v",
+			hit.TraceID, sawRelease, sawDiagnose, traces.Spans)
+	}
+
+	// Module timings flow through the query route.
+	var mods struct {
+		Modules []struct {
+			Module string `json:"module"`
+			Runs   int64  `json:"runs"`
+		} `json:"modules"`
+	}
+	getJSON(t, client, hs.URL+"/v1/modules", &mods)
+	if len(mods.Modules) == 0 {
+		t.Error("no module stats after diagnoses")
+	}
+
+	// The exposition stays valid and carries the api families.
+	expo := telemetry.Default().Exposition()
+	if err := telemetry.ValidateExposition(expo); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, fam := range []string{
+		"diads_api_requests_total",
+		"diads_api_request_seconds",
+		"diads_api_ingest_batches_total",
+		"diads_api_ingest_queue_depth",
+		"diads_api_events_released_total",
+	} {
+		if !bytes.Contains(expo, []byte(fam)) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+// TestIngestBackpressure pins the bounded-queue contract: with the
+// intake worker stalled, the queue fills to exactly its depth, the next
+// batch gets 429 + Retry-After, and the rejection is counted.
+func TestIngestBackpressure(t *testing.T) {
+	node := New(Config{Seed: testSeed, QueueDepth: 4})
+	defer node.Shutdown()
+	hs := httptest.NewServer(node.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	before := node.tel.rejected[reasonBackpressure].Value()
+
+	// Stall the worker on a block job, then fill the queue.
+	block := make(chan struct{})
+	if err := node.enqueue(intakeJob{block: block}); err != nil {
+		t.Fatalf("enqueue block: %v", err)
+	}
+	batch := SampleBatch{Tenant: "t", Instance: "i", Samples: []WireSample{
+		{Component: "c", Metric: "m", T: 1, V: 1},
+	}}
+	accepted := 0
+	var got429 bool
+	for i := 0; i < node.cfg.QueueDepth+8; i++ {
+		resp, body := postJSON(t, client, hs.URL+"/v1/ingest/samples", batch)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			if !strings.Contains(string(body), "queue full") {
+				t.Errorf("429 body: %s", body)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if !got429 {
+		t.Fatal("flood never hit backpressure")
+	}
+	if accepted != node.cfg.QueueDepth {
+		t.Errorf("accepted %d batches with a stalled worker, want exactly %d (bounded queue)",
+			accepted, node.cfg.QueueDepth)
+	}
+	if after := node.tel.rejected[reasonBackpressure].Value(); after <= before {
+		t.Errorf("rejection counter did not move: %v -> %v", before, after)
+	}
+
+	close(block)
+	if err := node.Quiesce(); err != nil {
+		t.Fatalf("quiesce after unblock: %v", err)
+	}
+	if err := telemetry.ValidateExposition(telemetry.Default().Exposition()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+// TestShutdownUnderLoad drains the node while a client floods it: every
+// in-flight batch either lands or is refused with 429/503, Shutdown
+// returns, and afterwards ingest is firmly 503 and the node not ready.
+func TestShutdownUnderLoad(t *testing.T) {
+	node := New(Config{Seed: testSeed, QueueDepth: 8})
+	hs := httptest.NewServer(node.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	batch := SampleBatch{Tenant: "t", Instance: "i", Samples: []WireSample{
+		{Component: "c", Metric: "m", T: 1, V: 1},
+	}}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(batch)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(hs.URL+"/v1/ingest/samples", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // server closing is fine
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("flood got status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	node.Shutdown() // must drain and return despite the flood
+	close(stop)
+	wg.Wait()
+
+	if ok, reason := node.Ready(); ok || reason != "draining" {
+		t.Errorf("Ready after Shutdown = %v %q, want draining", ok, reason)
+	}
+	resp, body := postJSON(t, client, hs.URL+"/v1/ingest/samples", batch)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after shutdown = %d %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("503 body should say draining: %s", body)
+	}
+	// Idempotent.
+	node.Shutdown()
+}
+
+// TestOperatorRoutes pins the review-gate wiring: resolving a kind with
+// no pending candidate is a 409 with the learner's reason, for both the
+// bare and mined spellings.
+func TestOperatorRoutes(t *testing.T) {
+	node := New(Config{Seed: testSeed})
+	defer node.Shutdown()
+	hs := httptest.NewServer(node.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	for _, kind := range []string{"nothing-pending", "nothing-pending" + symptoms.MinedSuffix} {
+		resp, body := postJSON(t, client, hs.URL+"/v1/candidates/"+kind+"/ack", struct{}{})
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("ack %s = %d %s, want 409", kind, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "no pending candidate") {
+			t.Errorf("ack body: %s", body)
+		}
+	}
+	var cands struct {
+		Pending []CandidateView `json:"pending"`
+	}
+	if resp := getJSON(t, client, hs.URL+"/v1/candidates", &cands); resp.StatusCode != http.StatusOK {
+		t.Fatalf("candidates = %d", resp.StatusCode)
+	}
+}
+
+// TestIngestValidation pins the 400 contract: malformed bodies and
+// unusable batches fail at the request, before the intake queue.
+func TestIngestValidation(t *testing.T) {
+	node := New(Config{Seed: testSeed})
+	defer node.Shutdown()
+	hs := httptest.NewServer(node.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	cases := []struct {
+		url  string
+		body string
+	}{
+		{"/v1/ingest/samples", `{not json`},
+		{"/v1/ingest/samples", `{"tenant":"t","samples":[]}`},                                                        // missing instance
+		{"/v1/ingest/samples", `{"tenant":"t","instance":"i","samples":[{"metric":"m","t":1,"v":1}]}`},               // missing component
+		{"/v1/ingest/samples", `{"tenant":"t","instance":"i","bogus":1}`},                                            // unknown field
+		{"/v1/ingest/runs", `{"tenant":"t","instance":"i","runs":[{"query":"Q2"}]}`},                                 // missing run_id
+		{"/v1/ingest/runs", `{"tenant":"t","instance":"i","runs":[{"query":"Q2","run_id":"r","start":5,"stop":1}]}`}, // stop < start
+		{"/v1/ingest/events", `{"tenant":"t","events":[]}`},                                                          // missing instance
+	}
+	for _, c := range cases {
+		resp, err := client.Post(hs.URL+c.url, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", c.url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s = %d, want 400", c.url, c.body, resp.StatusCode)
+		}
+	}
+}
+
+// TestScopedInstance pins the tenant-scoping helpers.
+func TestScopedInstance(t *testing.T) {
+	if got := fleet.ScopedInstance("acme", "db-1"); got != "acme/db-1" {
+		t.Errorf("ScopedInstance = %q", got)
+	}
+	if got := fleet.ScopedInstance("", "db-1"); got != "db-1" {
+		t.Errorf("unscoped = %q", got)
+	}
+	tenant, inst := fleet.SplitScoped("acme/db-1")
+	if tenant != "acme" || inst != "db-1" {
+		t.Errorf("SplitScoped = %q %q", tenant, inst)
+	}
+	tenant, inst = fleet.SplitScoped("bare")
+	if tenant != "" || inst != "bare" {
+		t.Errorf("SplitScoped bare = %q %q", tenant, inst)
+	}
+	// Instance names may contain the separator; tenants may not.
+	tenant, inst = fleet.SplitScoped("acme/db/replica-1")
+	if tenant != "acme" || inst != "db/replica-1" {
+		t.Errorf("SplitScoped nested = %q %q", tenant, inst)
+	}
+	_ = service.ErrBackpressure // the pool semantics ingest mirrors
+}

@@ -1,0 +1,510 @@
+// Package api is diadsd's serving surface: an HTTP subsystem that lets
+// a real system — not just the built-in simulator — feed the DIADS
+// pipeline and read its verdicts. It exposes three route families on
+// the telemetry listener:
+//
+//   - ingest: POST /v1/ingest/samples, /v1/ingest/runs, and
+//     /v1/ingest/events accept batched monitoring data scoped to a
+//     (tenant, instance) pair. Runs flow through a per-instance
+//     monitor exactly like simulator output; samples land in the
+//     instance's metrics store and advance its ingest watermark, which
+//     releases gated detections into the shared diagnosis pool; events
+//     mutate the instance's topology and land in the change log.
+//   - query: GET /v1/incidents, /v1/incidents/{id}, /v1/candidates,
+//     and /v1/modules render the same snapshots the console panels
+//     use — the ranked incident registry, the symptom-learning
+//     candidate lifecycle, and per-module workflow timings.
+//   - operator: POST /v1/candidates/{kind}/ack and .../reject settle
+//     validated mined-symptom candidates, the ack the ReviewOperator
+//     policy waits for.
+//
+// Ingest is backpressured like the diagnosis pool itself: accepted
+// batches enter a bounded intake queue drained by one ordered worker
+// (per-batch ordering is what makes watermarks meaningful), and a full
+// queue answers 429 with Retry-After rather than blocking or buffering
+// unboundedly — the snowball regime where the diagnoser's own slowdown
+// amplifies load is exactly what the paper's monitor exists to catch.
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diads/internal/diag"
+	"diads/internal/fleet"
+	"diads/internal/metrics"
+	"diads/internal/monitor"
+	"diads/internal/plan"
+	"diads/internal/service"
+	"diads/internal/simtime"
+	"diads/internal/symptoms"
+	"diads/internal/telemetry"
+	"diads/internal/testbed"
+	"diads/internal/topology"
+)
+
+// Config tunes the serving node.
+type Config struct {
+	// Seed drives tenant-environment construction (each tenant instance
+	// gets a Figure 1 topology and catalog built from it, with an empty
+	// metrics store the tenant fills by posting samples).
+	Seed int64
+	// QueueDepth bounds the ingest intake queue (default 64, the
+	// diagnosis pool's own default).
+	QueueDepth int
+	// Timeout bounds each request's handling time (default 10s).
+	Timeout time.Duration
+	// RetryAfter is the Retry-After hint on 429 responses, in seconds
+	// (default 1).
+	RetryAfter int
+	// Service tunes the shared diagnosis pool.
+	Service service.Config
+	// Monitor tunes each instance's slowdown detector.
+	Monitor monitor.Config
+	// Learn tunes the mined-symptom candidate lifecycle. The operator
+	// routes presume ReviewOperator with no Reviewer — validated
+	// candidates pend until acked over HTTP — so New forces that policy.
+	Learn fleet.LearnConfig
+	// SymDB is the shared symptoms database (nil means the built-in
+	// expert entries). Mined installs land here, so pass the same DB
+	// that -learned persistence renders.
+	SymDB *symptoms.DB
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	if c.SymDB == nil {
+		c.SymDB = symptoms.Builtin()
+	}
+	c.Learn.Review = fleet.ReviewOperator
+	c.Learn.Reviewer = nil
+	return c
+}
+
+// instance is the per-(tenant, instance) serving state: a Figure 1
+// environment whose store is filled by posted samples, a monitor whose
+// baselines are fed by posted runs, and the watermark gate between
+// them. Only the intake worker touches the mutable parts, so there is
+// no locking here.
+type instance struct {
+	id   string // scoped "tenant/instance"
+	tb   *testbed.Testbed
+	mon  *monitor.Monitor
+	gate *monitor.Gate
+	// watermark is the instance's ingest watermark: every sample with
+	// T <= watermark has been posted.
+	watermark simtime.Time
+	// plans caches the reconstructed plan per query.
+	plans map[string]*plan.Plan
+}
+
+// intakeJob is one accepted ingest batch awaiting ordered application.
+// Exactly one of the batch fields is set; done is the Quiesce sentinel.
+type intakeJob struct {
+	samples *SampleBatch
+	runs    *RunBatch
+	events  *EventBatch
+	traceID string
+	done    chan struct{}
+	// block stalls the worker until closed — how tests hold the queue
+	// full deterministically to observe backpressure.
+	block chan struct{}
+}
+
+// Node is the serving node: the shared diagnosis service, the learner
+// behind the operator routes, the per-instance ingest state, and the
+// intake queue. Construct with New, attach to a telemetry server with
+// Mount (or drive Handler directly in tests), and Shutdown to drain.
+type Node struct {
+	cfg     Config
+	svc     *service.Service
+	learner *fleet.Learner
+
+	mu        sync.Mutex
+	instances map[string]*instance
+
+	intake chan intakeJob
+	// sendMu serializes intake enqueues against Shutdown's close, the
+	// service pool's send-vs-close pattern: handlers send under the read
+	// lock, Shutdown flips draining before taking the write lock to
+	// close, so no send can hit a closed channel.
+	sendMu   sync.RWMutex
+	draining atomic.Bool
+	ingested atomic.Bool // any watermark advanced yet (readiness)
+	workerWG sync.WaitGroup
+
+	traceSeq atomic.Int64
+
+	tel nodeTelemetry
+}
+
+// nodeTelemetry is the api layer's instrument set on the default
+// registry — the diads_api_* families the CI smoke validates.
+type nodeTelemetry struct {
+	reg      *telemetry.Registry
+	batches  *telemetry.Counter
+	rejected map[string]*telemetry.Counter
+	applyErr *telemetry.Counter
+	released *telemetry.Counter
+}
+
+func newNodeTelemetry(n *Node) nodeTelemetry {
+	reg := telemetry.Default()
+	rejected := func(reason string) *telemetry.Counter {
+		return reg.Counter("diads_api_ingest_rejected_total",
+			"Ingest batches shed, by reason.",
+			telemetry.Labels{"reason": reason})
+	}
+	reg.GaugeFunc("diads_api_ingest_queue_depth",
+		"Ingest batches waiting in the intake queue.",
+		nil, func() float64 { return float64(len(n.intake)) })
+	return nodeTelemetry{
+		reg: reg,
+		batches: reg.Counter("diads_api_ingest_batches_total",
+			"Ingest batches accepted into the intake queue.", nil),
+		rejected: map[string]*telemetry.Counter{
+			reasonBackpressure: rejected(reasonBackpressure),
+			reasonDraining:     rejected(reasonDraining),
+		},
+		applyErr: reg.Counter("diads_api_ingest_errors_total",
+			"Ingest batch items the intake worker could not apply.", nil),
+		released: reg.Counter("diads_api_events_released_total",
+			"Gated slowdown events released to the diagnosis pool by watermark advances.", nil),
+	}
+}
+
+const (
+	reasonBackpressure = "backpressure"
+	reasonDraining     = "draining"
+)
+
+// New builds the node and starts its diagnosis pool and intake worker.
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:       cfg,
+		learner:   fleet.NewLearner(cfg.Learn, cfg.SymDB),
+		instances: make(map[string]*instance),
+		intake:    make(chan intakeJob, cfg.QueueDepth),
+	}
+	n.tel = newNodeTelemetry(n)
+	n.svc = service.New(service.Env{}, cfg.Service)
+	// The candidate lifecycle hangs off the diagnosis pool: every
+	// completed diagnosis refreshes the learner with the current
+	// incident set, every healthy diagnosis grows its background
+	// corpus — the fleet's epoch-exchange flow, minus the epochs (the
+	// serving surface has no global evidence clock; the Learner's own
+	// mutex keeps it consistent).
+	n.svc.OnDiagnosis = func(monitor.SlowdownEvent, *diag.Result) {
+		n.learner.Observe(n.svc.Registry().Incidents())
+	}
+	n.svc.OnHealthy = func(_ monitor.SlowdownEvent, fb *symptoms.FactBase) {
+		n.learner.AddHealthy(fb)
+	}
+	n.svc.Start(context.Background())
+	n.workerWG.Add(1)
+	go n.worker()
+	return n
+}
+
+// Service exposes the diagnosis pool (for Wait in drivers and tests).
+func (n *Node) Service() *service.Service { return n.svc }
+
+// Learner exposes the candidate lifecycle (for -learned persistence).
+func (n *Node) Learner() *fleet.Learner { return n.learner }
+
+// Ready implements the /readyz contract: ready once any instance's
+// ingest watermark has advanced, and never while draining.
+func (n *Node) Ready() (bool, string) {
+	if n.draining.Load() {
+		return false, "draining"
+	}
+	if !n.ingested.Load() {
+		return false, "no ingest watermark yet"
+	}
+	return true, ""
+}
+
+// Mount attaches the /v1/ route tree and readiness probe to the
+// telemetry server.
+func (n *Node) Mount(srv *telemetry.Server) {
+	srv.Mount("/v1/", n.Handler())
+	srv.SetReady(n.Ready)
+}
+
+// Shutdown drains the node: ingest starts answering 503, the intake
+// queue is drained by the worker, and in-flight diagnoses complete.
+// The diagnosis pool stays Submittable throughout (events released by
+// the final batches still diagnose); it is stopped at the end.
+func (n *Node) Shutdown() {
+	if n.draining.Swap(true) {
+		return
+	}
+	n.sendMu.Lock()
+	close(n.intake)
+	n.sendMu.Unlock()
+	n.workerWG.Wait()
+	n.svc.Wait()
+	n.svc.Stop()
+}
+
+// Quiesce blocks until every batch accepted so far has been applied and
+// every diagnosis it triggered has completed — the deterministic
+// settle point tests and the example client use instead of polling.
+// Unlike ingest it waits out a full queue (the sentinel must land
+// behind the batches it settles); draining is still an error.
+func (n *Node) Quiesce() error {
+	done := make(chan struct{})
+	for {
+		err := n.enqueue(intakeJob{done: done})
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errDraining) {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	n.svc.Wait()
+	return nil
+}
+
+// enqueue places a job on the intake queue without blocking.
+func (n *Node) enqueue(j intakeJob) error {
+	if n.draining.Load() {
+		return errDraining
+	}
+	n.sendMu.RLock()
+	defer n.sendMu.RUnlock()
+	if n.draining.Load() {
+		return errDraining
+	}
+	select {
+	case n.intake <- j:
+		return nil
+	default:
+		return errBackpressure
+	}
+}
+
+var (
+	errBackpressure = fmt.Errorf("api: intake queue full")
+	errDraining     = fmt.Errorf("api: draining")
+)
+
+// worker is the single ordered intake drain: batches apply in arrival
+// order, which is what lets a client reason "events before runs before
+// the watermark that releases them" across separate POSTs.
+func (n *Node) worker() {
+	defer n.workerWG.Done()
+	for j := range n.intake {
+		switch {
+		case j.block != nil:
+			<-j.block
+		case j.done != nil:
+			close(j.done)
+		case j.samples != nil:
+			n.applySamples(j.samples, j.traceID)
+		case j.runs != nil:
+			n.applyRuns(j.runs, j.traceID)
+		case j.events != nil:
+			n.applyEvents(j.events, j.traceID)
+		}
+	}
+}
+
+// instanceFor returns (building on first contact) the serving state for
+// the scoped instance. Only the intake worker calls it with build=true;
+// query handlers pass build=false and get nil for unknown instances.
+func (n *Node) instanceFor(tenant, inst string, build bool) (*instance, error) {
+	id := fleet.ScopedInstance(tenant, inst)
+	n.mu.Lock()
+	in := n.instances[id]
+	n.mu.Unlock()
+	if in != nil || !build {
+		return in, nil
+	}
+	tb, err := testbed.NewFigure1(testbed.DefaultConfig(n.cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("api: building environment for %s: %w", id, err)
+	}
+	in = &instance{
+		id:    id,
+		tb:    tb,
+		mon:   monitor.New(n.cfg.Monitor),
+		gate:  &monitor.Gate{},
+		plans: make(map[string]*plan.Plan),
+	}
+	// Detections gate on the ingest watermark; the sink tags the event
+	// with the scoped instance so dedup, incidents, and learning stay
+	// per-tenant. Synchronous and lossless — the intake worker is the
+	// only caller of Observe, and the gate absorbs any rate.
+	in.mon.SetSink(func(ev monitor.SlowdownEvent) {
+		ev.Instance = in.id
+		in.gate.Add(ev)
+	})
+	n.svc.AddInstance(id, service.Env{
+		Store:  tb.Store,
+		Cfg:    tb.Cfg,
+		Cat:    tb.Cat,
+		Opt:    tb.Opt,
+		Params: tb.Params,
+		Stats:  tb.Stats,
+		Server: testbed.ServerDB,
+		SymDB:  n.cfg.SymDB,
+	})
+	n.mu.Lock()
+	n.instances[id] = in
+	n.mu.Unlock()
+	return in, nil
+}
+
+// applySamples lands a sample batch in the instance's store and
+// advances its watermark, releasing any gated detections it covers.
+func (n *Node) applySamples(b *SampleBatch, traceID string) {
+	in, err := n.instanceFor(b.Tenant, b.Instance, true)
+	if err != nil {
+		n.tel.applyErr.Inc()
+		return
+	}
+	// Sort by time so interleaved series in one batch cannot trip the
+	// store's per-series ordering check.
+	sort.SliceStable(b.Samples, func(i, j int) bool { return b.Samples[i].T < b.Samples[j].T })
+	high := in.watermark
+	for i := range b.Samples {
+		s := &b.Samples[i]
+		err := in.tb.Store.Append(s.Component, metrics.Metric(s.Metric),
+			metrics.Sample{T: simtime.Time(s.T), V: s.V})
+		if err != nil {
+			n.tel.applyErr.Inc()
+			continue
+		}
+		if simtime.Time(s.T) > high {
+			high = simtime.Time(s.T)
+		}
+	}
+	if b.Watermark != nil && simtime.Time(*b.Watermark) > high {
+		high = simtime.Time(*b.Watermark)
+	}
+	if high > in.watermark {
+		in.watermark = high
+		n.ingested.Store(true)
+		n.release(in, traceID)
+	}
+}
+
+// release submits every gated detection the watermark now covers.
+// Duplicates are expected (recurring incidents); pool backpressure
+// sheds the event, counted by the service's own rejected metric — the
+// evidence stays in the store, so a later recurrence re-detects.
+func (n *Node) release(in *instance, traceID string) {
+	for _, ev := range in.gate.Release(in.watermark) {
+		n.tel.released.Inc()
+		telemetry.DefaultTracer().Record(telemetry.Span{
+			TraceID: ev.TraceID, Name: "api.ingest.release",
+			Start: time.Now(),
+			Attrs: []telemetry.Attr{
+				{Key: "instance", Value: in.id},
+				{Key: "request", Value: traceID},
+			},
+		})
+		_ = n.svc.Submit(ev)
+	}
+}
+
+// applyRuns replays a run batch through the instance's monitor. The
+// run's plan is reconstructed with the instance's own optimizer —
+// deterministic, so node IDs match a client compiled against the same
+// catalog — and cached per query.
+func (n *Node) applyRuns(b *RunBatch, traceID string) {
+	in, err := n.instanceFor(b.Tenant, b.Instance, true)
+	if err != nil {
+		n.tel.applyErr.Inc()
+		return
+	}
+	for i := range b.Runs {
+		wr := &b.Runs[i]
+		p := in.plans[wr.Query]
+		if p == nil {
+			p, err = in.tb.Opt.PlanQuery(wr.Query, in.tb.Stats, in.tb.Params)
+			if err != nil {
+				n.tel.applyErr.Inc()
+				continue
+			}
+			in.plans[wr.Query] = p
+		}
+		in.mon.Observe(wr.runRecord(p))
+	}
+	_ = traceID
+}
+
+// applyEvents applies configuration events to the instance's topology
+// and change log. Mutation kinds change the config (so facts like
+// new-volume-in-pool bind during diagnosis); every event is logged.
+func (n *Node) applyEvents(b *EventBatch, traceID string) {
+	in, err := n.instanceFor(b.Tenant, b.Instance, true)
+	if err != nil {
+		n.tel.applyErr.Inc()
+		return
+	}
+	cfg := in.tb.Cfg
+	for i := range b.Events {
+		e := &b.Events[i]
+		subject := topology.ID(e.Subject)
+		switch topology.EventKind(e.Kind) {
+		case topology.EvVolumeCreated:
+			if err := cfg.AddVolume(subject, topology.ID(e.Pool), e.Name, e.SizeGB); err != nil {
+				n.tel.applyErr.Inc()
+				continue
+			}
+		case topology.EvZoneCreated:
+			if len(e.Ports) > 0 {
+				ports := make([]topology.ID, len(e.Ports))
+				for i, p := range e.Ports {
+					ports[i] = topology.ID(p)
+				}
+				if err := cfg.AddZone(e.Name, ports...); err != nil {
+					n.tel.applyErr.Inc()
+					continue
+				}
+			}
+		case topology.EvZoneDeleted:
+			cfg.RemoveZone(e.Name)
+		case topology.EvLUNMapped:
+			if e.Server != "" {
+				if err := cfg.MapLUN(subject, topology.ID(e.Server)); err != nil {
+					n.tel.applyErr.Inc()
+					continue
+				}
+			}
+		}
+		cfg.Log.Record(topology.Event{
+			T:       simtime.Time(e.T),
+			Kind:    topology.EventKind(e.Kind),
+			Subject: subject,
+			Detail:  e.Detail,
+		})
+	}
+	_ = traceID
+}
+
+// nextTraceID mints a request trace ID. Sequential, not random: the
+// serving surface must introduce no entropy a diagnosis could pick up.
+func (n *Node) nextTraceID() string {
+	return "api/req-" + strconv.FormatInt(n.traceSeq.Add(1), 10)
+}

@@ -1,0 +1,390 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"time"
+
+	"diads/internal/fleet"
+	"diads/internal/pipeline"
+	"diads/internal/service"
+	"diads/internal/symptoms"
+	"diads/internal/telemetry"
+)
+
+// Handler builds the /v1/ route tree, every route wrapped in the
+// timeout/metrics/tracing middleware. Mount it under "/v1/" (Mount does
+// this against a telemetry server) or drive it directly in tests.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, n.wrap(name, h))
+	}
+	route("POST /v1/ingest/samples", "ingest_samples", n.handleIngestSamples)
+	route("POST /v1/ingest/runs", "ingest_runs", n.handleIngestRuns)
+	route("POST /v1/ingest/events", "ingest_events", n.handleIngestEvents)
+	route("GET /v1/incidents", "incidents", n.handleIncidents)
+	route("GET /v1/incidents/{id}", "incident", n.handleIncident)
+	route("GET /v1/candidates", "candidates", n.handleCandidates)
+	route("GET /v1/modules", "modules", n.handleModules)
+	route("POST /v1/candidates/{kind}/ack", "candidate_ack", n.handleResolve(true))
+	route("POST /v1/candidates/{kind}/reject", "candidate_reject", n.handleResolve(false))
+	return mux
+}
+
+// statusWriter captures the response code for the outcome metric.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap applies the middleware stack: a per-request timeout (503 on
+// expiry), per-route latency and outcome counters on the default
+// registry, and a request trace ID recorded as a span and handed to
+// the handler via the request context — ingest threads it through to
+// the diagnosis trace, so /traces tells one story from POST to module.
+func (n *Node) wrap(name string, h http.HandlerFunc) http.Handler {
+	reg := n.tel.reg
+	latency := reg.Histogram("diads_api_request_seconds",
+		"Wall time of one API request, by route.",
+		telemetry.Labels{"route": name}, nil)
+	outcome := func(code int) *telemetry.Counter {
+		return reg.Counter("diads_api_requests_total",
+			"API requests, by route and status code.",
+			telemetry.Labels{"route": name, "code": strconv.Itoa(code)})
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		traceID := r.Header.Get("X-Diads-Trace")
+		if traceID == "" {
+			traceID = n.nextTraceID()
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(withTraceID(r.Context(), traceID)))
+		wall := time.Since(start)
+		latency.Observe(wall.Seconds())
+		outcome(sw.code).Inc()
+		telemetry.DefaultTracer().Record(telemetry.Span{
+			TraceID: traceID, Name: "api." + name,
+			Start: start, Duration: wall,
+			Attrs: []telemetry.Attr{{Key: "code", Value: strconv.Itoa(sw.code)}},
+		})
+	})
+	return http.TimeoutHandler(inner, n.cfg.Timeout, `{"error":"request timed out"}`)
+}
+
+type traceKey struct{}
+
+func withTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+func traceIDFrom(r *http.Request) string {
+	if v, ok := r.Context().Value(traceKey{}).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the request body strictly (unknown fields are
+// errors — they are almost always a misspelled contract).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// acceptIngest enqueues a parsed batch, mapping queue states to the
+// backpressure contract: 202 queued, 429 + Retry-After full, 503
+// draining.
+func (n *Node) acceptIngest(w http.ResponseWriter, j intakeJob, accepted int) {
+	err := n.enqueue(j)
+	switch {
+	case errors.Is(err, errDraining):
+		n.tel.rejected[reasonDraining].Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining; not accepting ingest")
+	case errors.Is(err, errBackpressure):
+		n.tel.rejected[reasonBackpressure].Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(n.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "intake queue full; retry after %ds", n.cfg.RetryAfter)
+	default:
+		n.tel.batches.Inc()
+		writeJSON(w, http.StatusAccepted, IngestReply{Accepted: accepted, QueueDepth: len(n.intake)})
+	}
+}
+
+func (n *Node) handleIngestSamples(w http.ResponseWriter, r *http.Request) {
+	var b SampleBatch
+	if err := decodeBody(r, &b); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing batch: %v", err)
+		return
+	}
+	if b.Instance == "" {
+		writeError(w, http.StatusBadRequest, "batch missing instance")
+		return
+	}
+	for i := range b.Samples {
+		if err := b.Samples[i].validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return
+		}
+	}
+	n.acceptIngest(w, intakeJob{samples: &b, traceID: traceIDFrom(r)}, len(b.Samples))
+}
+
+func (n *Node) handleIngestRuns(w http.ResponseWriter, r *http.Request) {
+	var b RunBatch
+	if err := decodeBody(r, &b); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing batch: %v", err)
+		return
+	}
+	if b.Instance == "" {
+		writeError(w, http.StatusBadRequest, "batch missing instance")
+		return
+	}
+	for i := range b.Runs {
+		if err := b.Runs[i].validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "run %d: %v", i, err)
+			return
+		}
+	}
+	n.acceptIngest(w, intakeJob{runs: &b, traceID: traceIDFrom(r)}, len(b.Runs))
+}
+
+func (n *Node) handleIngestEvents(w http.ResponseWriter, r *http.Request) {
+	var b EventBatch
+	if err := decodeBody(r, &b); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing batch: %v", err)
+		return
+	}
+	if b.Instance == "" {
+		writeError(w, http.StatusBadRequest, "batch missing instance")
+		return
+	}
+	n.acceptIngest(w, intakeJob{events: &b, traceID: traceIDFrom(r)}, len(b.Events))
+}
+
+// IncidentView is the query-route rendering of one open incident — the
+// registry row the console's ranked panel shows, plus a stable ID for
+// the detail route.
+type IncidentView struct {
+	ID         string  `json:"id"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Instance   string  `json:"instance,omitempty"`
+	Query      string  `json:"query"`
+	Kind       string  `json:"kind"`
+	Subject    string  `json:"subject"`
+	Confidence float64 `json:"confidence"`
+	ImpactPct  float64 `json:"impact_pct"`
+	EstImpact  float64 `json:"est_impact_seconds"`
+	Events     int     `json:"events"`
+	FirstSeen  float64 `json:"first_seen"`
+	LastSeen   float64 `json:"last_seen"`
+	TraceID    string  `json:"trace_id,omitempty"`
+}
+
+// incidentID derives the stable detail-route ID: FNV-1a over the
+// incident's full identity. Deterministic per seed, single URL segment.
+func incidentID(inc *service.Incident) string {
+	h := fnv.New64a()
+	for _, s := range []string{inc.Instance, inc.Query, inc.Kind, inc.Subject} {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+func (n *Node) incidentView(inc *service.Incident) IncidentView {
+	tenant, bare := fleet.SplitScoped(inc.Instance)
+	v := IncidentView{
+		ID:         incidentID(inc),
+		Tenant:     tenant,
+		Instance:   bare,
+		Query:      inc.Query,
+		Kind:       inc.Kind,
+		Subject:    inc.Subject,
+		Confidence: inc.Confidence,
+		ImpactPct:  inc.ImpactPct,
+		EstImpact:  inc.EstImpact(),
+		Events:     inc.Events,
+		FirstSeen:  float64(inc.FirstSeen),
+		LastSeen:   float64(inc.LastSeen),
+	}
+	if inc.Trace != nil {
+		v.TraceID = inc.Trace.TraceID
+	}
+	return v
+}
+
+func (n *Node) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	incs := n.svc.Registry().Incidents()
+	tenant := r.URL.Query().Get("tenant")
+	out := make([]IncidentView, 0, len(incs))
+	for i := range incs {
+		t, _ := fleet.SplitScoped(incs[i].Instance)
+		if tenant != "" && t != tenant {
+			continue
+		}
+		out = append(out, n.incidentView(&incs[i]))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"incidents": out})
+}
+
+// CauseView is one ranked cause inside an incident detail.
+type CauseView struct {
+	Kind       string  `json:"kind"`
+	Subject    string  `json:"subject"`
+	Confidence float64 `json:"confidence"`
+	Category   string  `json:"category"`
+}
+
+// ModuleTimingView is one workflow module's timing in a diagnosis trace.
+type ModuleTimingView struct {
+	Module string  `json:"module"`
+	Status string  `json:"status"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func (n *Node) handleIncident(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	incs := n.svc.Registry().Incidents()
+	for i := range incs {
+		inc := &incs[i]
+		if incidentID(inc) != id {
+			continue
+		}
+		detail := map[string]any{"incident": n.incidentView(inc)}
+		if inc.Result != nil {
+			causes := make([]CauseView, 0, len(inc.Result.Causes))
+			for _, c := range inc.Result.Causes {
+				causes = append(causes, CauseView{
+					Kind: c.Kind, Subject: c.Subject,
+					Confidence: c.Confidence, Category: string(c.Category),
+				})
+			}
+			detail["causes"] = causes
+		}
+		if inc.Trace != nil {
+			detail["modules"] = moduleTimings(inc.Trace)
+		}
+		writeJSON(w, http.StatusOK, detail)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no incident %q", id)
+}
+
+func moduleTimings(t *pipeline.Trace) []ModuleTimingView {
+	out := make([]ModuleTimingView, 0, len(t.Modules))
+	for _, mt := range t.Modules {
+		out = append(out, ModuleTimingView{
+			Module: mt.Module,
+			Status: string(mt.Status),
+			WallMS: float64(mt.Wall.Microseconds()) / 1e3,
+		})
+	}
+	return out
+}
+
+// CandidateView is one mined-symptom candidate in the lifecycle.
+type CandidateView struct {
+	Kind      string `json:"kind"`
+	State     string `json:"state,omitempty"`
+	Support   int    `json:"support,omitempty"`
+	Incidents int    `json:"incidents,omitempty"`
+	Rendered  string `json:"rendered,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	Verdict   string `json:"verdict,omitempty"`
+}
+
+func (n *Node) handleCandidates(w http.ResponseWriter, _ *http.Request) {
+	st := n.learner.Stats()
+	pending := make([]CandidateView, 0, len(st.Pending))
+	for _, c := range st.Pending {
+		pending = append(pending, CandidateView{
+			Kind: c.Kind, State: c.State, Support: c.Support,
+			Incidents: c.Incidents, Rendered: c.Rendered,
+			Verdict: string(c.Validation.Verdict),
+		})
+	}
+	installed := make([]CandidateView, 0, len(st.Installed))
+	for _, e := range st.Installed {
+		installed = append(installed, CandidateView{
+			Kind: e.Kind, Rendered: e.Entry.Render(),
+			Verdict: string(e.Validation.Verdict),
+		})
+	}
+	rejected := make([]CandidateView, 0, len(st.Rejected))
+	for _, rj := range st.Rejected {
+		rejected = append(rejected, CandidateView{Kind: rj.Kind, Reason: rj.Reason})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"confirmed": st.Confirmed,
+		"held_out":  st.HeldOut,
+		"healthy":   st.Healthy,
+		"pending":   pending,
+		"installed": installed,
+		"rejected":  rejected,
+	})
+}
+
+func (n *Node) handleModules(w http.ResponseWriter, _ *http.Request) {
+	stats := n.svc.ModuleStats()
+	type row struct {
+		Module    string  `json:"module"`
+		Runs      int64   `json:"runs"`
+		CacheHits int64   `json:"cache_hits"`
+		Skipped   int64   `json:"skipped"`
+		WallMS    float64 `json:"wall_ms"`
+	}
+	out := make([]row, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, row{
+			Module: st.Module, Runs: st.Runs, CacheHits: st.CacheHits,
+			Skipped: st.Skipped, WallMS: float64(st.Wall.Microseconds()) / 1e3,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"modules": out})
+}
+
+// handleResolve settles a pending candidate: ack installs a validated
+// candidate (never overriding a failed validation), reject retires it.
+func (n *Node) handleResolve(accept bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		kind := r.PathValue("kind")
+		if !symptoms.IsMined(kind) {
+			// Operators see the bare cause kind in the console; accept
+			// both spellings of a mined kind.
+			kind += symptoms.MinedSuffix
+		}
+		if err := n.learner.Resolve(kind, accept); err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		action := "rejected"
+		if accept {
+			action = "installed"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"kind": kind, "result": action})
+	}
+}

@@ -1,0 +1,245 @@
+package api
+
+import (
+	"fmt"
+
+	"diads/internal/exec"
+	"diads/internal/metrics"
+	"diads/internal/plan"
+	"diads/internal/simtime"
+	"diads/internal/topology"
+)
+
+// Wire types: the JSON bodies of the ingest routes. Times and durations
+// are simulated seconds (float64), matching simtime's representation,
+// so a real system posts whatever clock it monitors under and the
+// evidence-window arithmetic is exact.
+
+// WireSample is one monitored observation of a metric on a component.
+type WireSample struct {
+	Component string  `json:"component"`
+	Metric    string  `json:"metric"`
+	T         float64 `json:"t"`
+	V         float64 `json:"v"`
+}
+
+// SampleBatch is the body of POST /v1/ingest/samples. Samples are
+// applied in time order (the batch is sorted before appending); the
+// instance's ingest watermark advances to the latest sample time, so a
+// batch must contain every series' samples up to its watermark — the
+// watermark asserts "all evidence up to T has been posted", and gated
+// diagnoses are released against it.
+type SampleBatch struct {
+	Tenant   string       `json:"tenant"`
+	Instance string       `json:"instance"`
+	Samples  []WireSample `json:"samples"`
+	// Watermark, when set, overrides the implied watermark (the latest
+	// sample time). Use it to advance the watermark past a quiet period
+	// with an empty or partial batch.
+	Watermark *float64 `json:"watermark,omitempty"`
+}
+
+// WireOp is one operator's monitoring row in a posted run — the
+// per-operator signal the paper's instrumented PostgreSQL collected.
+// IDs refer to nodes of the server-side plan reconstructed for the
+// run's query (the optimizer is deterministic, so a client running the
+// same catalog sees identical node IDs).
+type WireOp struct {
+	ID       int     `json:"id"`
+	Type     string  `json:"type"`
+	Table    string  `json:"table,omitempty"`
+	Start    float64 `json:"start"`
+	Stop     float64 `json:"stop"`
+	Recorded float64 `json:"recorded"`
+	ActRows  float64 `json:"act_rows"`
+	EstRows  float64 `json:"est_rows"`
+	PhysIO   float64 `json:"phys_io"`
+	CacheHit float64 `json:"cache_hit"`
+	IOTime   float64 `json:"io_time"`
+	LockWait float64 `json:"lock_wait"`
+}
+
+// WireRun is one completed query run.
+type WireRun struct {
+	Query    string   `json:"query"`
+	RunID    string   `json:"run_id"`
+	Start    float64  `json:"start"`
+	Stop     float64  `json:"stop"`
+	PhysIO   float64  `json:"phys_io"`
+	CacheHit float64  `json:"cache_hit"`
+	LockWait float64  `json:"lock_wait"`
+	SeqScans int      `json:"seq_scans"`
+	IdxScans int      `json:"idx_scans"`
+	Ops      []WireOp `json:"ops"`
+}
+
+// RunBatch is the body of POST /v1/ingest/runs. Runs flow through the
+// instance's monitor exactly like simulator output: baselines update,
+// detections gate on the ingest watermark, released events submit to
+// the diagnosis pool.
+type RunBatch struct {
+	Tenant   string    `json:"tenant"`
+	Instance string    `json:"instance"`
+	Runs     []WireRun `json:"runs"`
+}
+
+// WireEvent is one configuration change or system event. Kind names a
+// topology.EventKind; the mutation kinds (VolumeCreated, ZoneCreated,
+// LUNMapped, ZoneDeleted) also apply their change to the instance's
+// topology so diagnosis sees the post-change configuration, and every
+// kind lands in the change log Module SD reads.
+type WireEvent struct {
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Subject string  `json:"subject"`
+	Detail  string  `json:"detail,omitempty"`
+	// Mutation parameters, by kind: VolumeCreated reads Pool, Name,
+	// SizeGB; ZoneCreated reads Name and Ports; LUNMapped reads Server
+	// (the volume is Subject); ZoneDeleted reads Name.
+	Pool   string   `json:"pool,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	SizeGB int      `json:"size_gb,omitempty"`
+	Ports  []string `json:"ports,omitempty"`
+	Server string   `json:"server,omitempty"`
+}
+
+// EventBatch is the body of POST /v1/ingest/events.
+type EventBatch struct {
+	Tenant   string      `json:"tenant"`
+	Instance string      `json:"instance"`
+	Events   []WireEvent `json:"events"`
+}
+
+// IngestReply acknowledges an accepted ingest batch (HTTP 202): the
+// batch is queued for ordered application, not yet applied.
+type IngestReply struct {
+	Accepted int `json:"accepted"`
+	// QueueDepth is the intake queue depth after enqueueing, the
+	// client-visible backpressure signal short of a 429.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// ErrorReply is the body of every non-2xx response.
+type ErrorReply struct {
+	Error string `json:"error"`
+}
+
+// runRecord converts a posted run to the monitor's record form, wiring
+// the given reconstructed plan in.
+func (wr *WireRun) runRecord(p *plan.Plan) *exec.RunRecord {
+	rec := &exec.RunRecord{
+		Query:    wr.Query,
+		RunID:    wr.RunID,
+		PlanSig:  p.Signature(),
+		Plan:     p,
+		Start:    simtime.Time(wr.Start),
+		Stop:     simtime.Time(wr.Stop),
+		Ops:      make(map[int]*exec.OpRun, len(wr.Ops)),
+		PhysIO:   wr.PhysIO,
+		CacheHit: wr.CacheHit,
+		LockWait: simtime.Duration(wr.LockWait),
+		SeqScans: wr.SeqScans,
+		IdxScans: wr.IdxScans,
+	}
+	for _, op := range wr.Ops {
+		rec.Ops[op.ID] = &exec.OpRun{
+			ID:       op.ID,
+			Type:     plan.OpType(op.Type),
+			Table:    op.Table,
+			Start:    simtime.Time(op.Start),
+			Stop:     simtime.Time(op.Stop),
+			Recorded: simtime.Duration(op.Recorded),
+			ActRows:  op.ActRows,
+			EstRows:  op.EstRows,
+			PhysIO:   op.PhysIO,
+			CacheHit: op.CacheHit,
+			IOTime:   simtime.Duration(op.IOTime),
+			LockWait: simtime.Duration(op.LockWait),
+		}
+	}
+	return rec
+}
+
+// validate rejects runs the monitor cannot use before they reach the
+// ordered intake worker, so bad batches fail at the request with a 400
+// instead of silently corrupting an instance's baseline.
+func (wr *WireRun) validate() error {
+	if wr.Query == "" {
+		return fmt.Errorf("run missing query")
+	}
+	if wr.RunID == "" {
+		return fmt.Errorf("run %s missing run_id", wr.Query)
+	}
+	if wr.Stop < wr.Start {
+		return fmt.Errorf("run %s/%s: stop %v before start %v", wr.Query, wr.RunID, wr.Stop, wr.Start)
+	}
+	return nil
+}
+
+func (ws *WireSample) validate() error {
+	if ws.Component == "" || ws.Metric == "" {
+		return fmt.Errorf("sample missing component or metric")
+	}
+	return nil
+}
+
+// WireSampleOf converts a store sample back to wire form — the helper
+// the example client and tests use to serialize simulator output.
+func WireSampleOf(component string, metric metrics.Metric, s metrics.Sample) WireSample {
+	return WireSample{Component: component, Metric: string(metric), T: float64(s.T), V: s.V}
+}
+
+// WireRunOf converts an executed run record to wire form.
+func WireRunOf(rec *exec.RunRecord) WireRun {
+	wr := WireRun{
+		Query:    rec.Query,
+		RunID:    rec.RunID,
+		Start:    float64(rec.Start),
+		Stop:     float64(rec.Stop),
+		PhysIO:   rec.PhysIO,
+		CacheHit: rec.CacheHit,
+		LockWait: float64(rec.LockWait),
+		SeqScans: rec.SeqScans,
+		IdxScans: rec.IdxScans,
+	}
+	ids := make([]int, 0, len(rec.Ops))
+	for id := range rec.Ops {
+		ids = append(ids, id)
+	}
+	// Deterministic op order so serialized batches are byte-stable.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		op := rec.Ops[id]
+		wr.Ops = append(wr.Ops, WireOp{
+			ID:       op.ID,
+			Type:     string(op.Type),
+			Table:    op.Table,
+			Start:    float64(op.Start),
+			Stop:     float64(op.Stop),
+			Recorded: float64(op.Recorded),
+			ActRows:  op.ActRows,
+			EstRows:  op.EstRows,
+			PhysIO:   op.PhysIO,
+			CacheHit: op.CacheHit,
+			IOTime:   float64(op.IOTime),
+			LockWait: float64(op.LockWait),
+		})
+	}
+	return wr
+}
+
+// WireEventOf converts a logged topology event to wire form. Mutation
+// parameters are not recoverable from the log entry; callers replaying
+// mutations fill them in.
+func WireEventOf(e topology.Event) WireEvent {
+	return WireEvent{
+		T:       float64(e.T),
+		Kind:    string(e.Kind),
+		Subject: string(e.Subject),
+		Detail:  e.Detail,
+	}
+}

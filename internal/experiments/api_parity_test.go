@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"diads/internal/api"
+	"diads/internal/telemetry"
+)
+
+// TestAPIIdleParity pins the serving surface's determinism contract:
+// an idle API listener must not perturb the simulated pipeline. The
+// online and fleet reports must be byte-identical whether or not an
+// api.Node is mounted and serving beside them — the node owns its own
+// per-tenant environments and its sequential trace counter, and none of
+// that state may leak into a simulation that never posts to it. This is
+// the same side-channel discipline TestTelemetryOnOffParity enforces
+// for the metrics layer, extended to the HTTP subsystem.
+func TestAPIIdleParity(t *testing.T) {
+	run := func(listen bool) (string, string) {
+		var node *api.Node
+		var hs *httptest.Server
+		if listen {
+			node = api.New(api.Config{Seed: testSeed})
+			tsrv := telemetry.NewServer("127.0.0.1:0", nil, nil)
+			node.Mount(tsrv)
+			hs = httptest.NewServer(tsrv.Handler())
+			// Exercise the surface so the listener is genuinely live,
+			// not just constructed: a scrape and a query both hit the
+			// shared registry and the node's read paths.
+			for _, path := range []string{"/metrics", "/readyz", "/v1/incidents", "/v1/candidates"} {
+				resp, err := hs.Client().Get(hs.URL + path)
+				if err != nil {
+					t.Fatalf("GET %s: %v", path, err)
+				}
+				resp.Body.Close()
+			}
+		}
+		on, err := Online(testSeed)
+		if err != nil {
+			t.Fatalf("online (listen=%v): %v", listen, err)
+		}
+		rep, _, err := RunFleetSpec(FleetSpec{
+			Seed: testSeed, Instances: 3, Degraded: 2, Runs: 10,
+		})
+		if err != nil {
+			t.Fatalf("fleet (listen=%v): %v", listen, err)
+		}
+		if listen {
+			hs.Close()
+			node.Shutdown()
+		}
+		return on.Render(), rep.Render()
+	}
+
+	onlineIdle, fleetIdle := run(true)
+	onlineBare, fleetBare := run(false)
+	if onlineIdle != onlineBare {
+		t.Errorf("online report differs with an idle listener\n--- listener ---\n%s\n--- bare ---\n%s",
+			onlineIdle, onlineBare)
+	}
+	if fleetIdle != fleetBare {
+		t.Errorf("fleet report differs with an idle listener\n--- listener ---\n%s\n--- bare ---\n%s",
+			fleetIdle, fleetBare)
+	}
+}

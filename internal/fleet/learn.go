@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"sort"
 
 	"diads/internal/service"
@@ -284,6 +285,36 @@ func (l *learner) step() {
 			l.install(kind, c)
 		}
 	}
+}
+
+// resolve settles one pending candidate by operator decision — the ack
+// the ReviewOperator policy waits for when no Reviewer is wired. Accept
+// installs only a candidate that has already passed validation (the
+// operator cannot override the healthy-corpus/hold-out replays); reject
+// retires it regardless of validation state. The error reports an
+// unknown kind or an accept of an unvalidated candidate.
+func (l *learner) resolve(kind string, accept bool) error {
+	c := l.pending[kind]
+	if c == nil {
+		if l.rejected[kind] {
+			return fmt.Errorf("fleet: candidate %q already rejected", kind)
+		}
+		for _, ie := range l.installed {
+			if ie.Kind == kind {
+				return fmt.Errorf("fleet: candidate %q already installed", kind)
+			}
+		}
+		return fmt.Errorf("fleet: no pending candidate %q", kind)
+	}
+	if !accept {
+		l.reject(kind, "operator rejected", c.val)
+		return nil
+	}
+	if c.val.Verdict != symptoms.VerdictPass {
+		return fmt.Errorf("fleet: candidate %q not validated (%s)", kind, c.state())
+	}
+	l.install(kind, c)
+	return nil
 }
 
 // reject retires a candidate with its reason; the kind is never

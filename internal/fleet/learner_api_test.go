@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"diads/internal/service"
+	"diads/internal/symptoms"
+)
+
+// TestLearnerResolve pins the operator ack path the HTTP API drives:
+// under ReviewOperator with no Reviewer a validated candidate pends,
+// Resolve(kind, true) installs it, Resolve(kind, false) retires it,
+// and the error cases (unknown kind, unvalidated accept, double
+// resolve) all name the state.
+func TestLearnerResolve(t *testing.T) {
+	symdb := symptoms.NewDB()
+	a := NewLearner(LearnConfig{Review: ReviewOperator}, symdb)
+
+	// Background corpus first, then three confirmations (the third
+	// fills the hold-out set) — the flow that leaves a validated
+	// candidate pending under ReviewOperator.
+	a.AddHealthy(testFacts(map[string]float64{"ambient-load:pool-P1": 0.9}))
+	mixed := map[string]float64{"ambient-load:pool-P1": 0.9, "real-symptom:vol-V1": 0.95}
+	a.Observe([]service.Incident{
+		confirmed("inst-0", "Q2", "san-contention", testFacts(mixed)),
+		confirmed("inst-1", "Q2", "san-contention", testFacts(mixed)),
+		confirmed("inst-2", "Q2", "san-contention", testFacts(mixed)),
+	})
+
+	kind := "san-contention" + symptoms.MinedSuffix
+	st := a.Stats()
+	if len(st.Pending) != 1 || st.Pending[0].Kind != kind {
+		t.Fatalf("want %s pending under ReviewOperator, got %+v", kind, st.Pending)
+	}
+	if !strings.Contains(st.Pending[0].State, "awaiting operator review") {
+		t.Fatalf("pending state = %q", st.Pending[0].State)
+	}
+
+	if err := a.Resolve("no-such-kind", true); err == nil ||
+		!strings.Contains(err.Error(), "no pending candidate") {
+		t.Errorf("resolving unknown kind: %v", err)
+	}
+
+	if err := a.Resolve(kind, true); err != nil {
+		t.Fatalf("ack of validated candidate: %v", err)
+	}
+	st = a.Stats()
+	if len(st.Installed) != 1 || st.Installed[0].Kind != kind {
+		t.Fatalf("ack did not install: %+v", st)
+	}
+	if len(symdb.Entries()) != 1 {
+		t.Fatalf("installed entry missing from database")
+	}
+
+	if err := a.Resolve(kind, true); err == nil ||
+		!strings.Contains(err.Error(), "already installed") {
+		t.Errorf("double ack: %v", err)
+	}
+}
+
+// TestLearnerResolveReject pins the reject arm and that an accept
+// cannot override a failed or deferred validation.
+func TestLearnerResolveReject(t *testing.T) {
+	symdb := symptoms.NewDB()
+	a := NewLearner(LearnConfig{Review: ReviewOperator}, symdb)
+
+	// No healthy corpus yet: the candidate defers in validation.
+	mixed := map[string]float64{"real-symptom:vol-V1": 0.95}
+	a.Observe([]service.Incident{
+		confirmed("inst-0", "Q2", "san-contention", testFacts(mixed)),
+		confirmed("inst-1", "Q2", "san-contention", testFacts(mixed)),
+	})
+	kind := "san-contention" + symptoms.MinedSuffix
+	if st := a.Stats(); len(st.Pending) != 1 {
+		t.Fatalf("want a deferred candidate, got %+v", st)
+	}
+	if err := a.Resolve(kind, true); err == nil ||
+		!strings.Contains(err.Error(), "not validated") {
+		t.Fatalf("ack of unvalidated candidate must fail: %v", err)
+	}
+
+	// Reject works regardless of validation state, and is final.
+	if err := a.Resolve(kind, false); err != nil {
+		t.Fatalf("reject: %v", err)
+	}
+	st := a.Stats()
+	if len(st.Rejected) != 1 || st.Rejected[0].Reason != "operator rejected" {
+		t.Fatalf("reject not recorded: %+v", st.Rejected)
+	}
+	if err := a.Resolve(kind, false); err == nil ||
+		!strings.Contains(err.Error(), "already rejected") {
+		t.Errorf("double reject: %v", err)
+	}
+	if len(symdb.Entries()) != 0 {
+		t.Fatalf("rejected candidate reached the database")
+	}
+}

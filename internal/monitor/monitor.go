@@ -163,6 +163,7 @@ type Monitor struct {
 	mu     sync.Mutex
 	states map[string]*queryState
 	events chan SlowdownEvent
+	sink   func(SlowdownEvent)
 	stats  Stats
 	tel    monitorTelemetry
 }
@@ -209,6 +210,20 @@ func New(cfg Config) *Monitor {
 // Events is the stream of detected slowdowns. The channel is never
 // closed; drain it with a select or poll its length.
 func (m *Monitor) Events() <-chan SlowdownEvent { return m.events }
+
+// SetSink replaces the buffered event channel with a synchronous
+// callback: every detected slowdown is delivered to fn from inside
+// Observe, losslessly — nothing is ever counted dropped. The HTTP
+// ingest path uses this (its single ordered intake worker calls
+// Observe, so delivery happens on a controlled goroutine and the
+// caller's gate/submit logic applies its own backpressure). Set it
+// before the first Observe and do not mix with Events(): once a sink
+// is installed the channel stays empty.
+func (m *Monitor) SetSink(fn func(SlowdownEvent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sink = fn
+}
 
 // Stats returns the lifetime counters.
 func (m *Monitor) Stats() Stats {
@@ -266,6 +281,7 @@ func (m *Monitor) Observe(rec *exec.RunRecord) {
 	}
 
 	var ev SlowdownEvent
+	sink := m.sink
 	if kind != "" {
 		ev = m.buildEvent(rec, st, kind, dur, mean, sigma)
 		m.stats.Events++
@@ -278,6 +294,10 @@ func (m *Monitor) Observe(rec *exec.RunRecord) {
 			m.tel.threshold.Inc()
 		case KindChangePoint:
 			m.tel.changePoint.Inc()
+		}
+		if sink != nil {
+			sink(ev)
+			return
 		}
 		select {
 		case m.events <- ev:

@@ -222,10 +222,12 @@ func newServiceTelemetry() serviceTelemetry {
 type Service struct {
 	cfg Config
 	env Env
-	// envs holds per-instance diagnosis environments for fleet mode,
-	// keyed by SlowdownEvent.Instance; events without an instance tag
-	// use env. Populated by AddInstance before Start.
-	envs map[string]Env
+	// envs holds per-instance diagnosis environments, keyed by
+	// SlowdownEvent.Instance; events without an instance tag use env.
+	// envmu guards it so AddInstance may run while the pool is serving —
+	// the HTTP ingest path registers tenants on first contact.
+	envmu sync.RWMutex
+	envs  map[string]Env
 
 	// OnDiagnosis, when non-nil, observes every completed diagnosis
 	// (called from worker goroutines after the registry is updated). The
@@ -345,13 +347,24 @@ func (s *Service) registerFuncs() {
 
 // AddInstance registers a per-instance diagnosis environment: events
 // tagged with the instance ID diagnose against it instead of the default
-// environment. Call before Start; events for unregistered instances fail
-// their diagnosis (counted in Stats.Failed).
+// environment. Safe to call while the service is running (the HTTP
+// ingest path registers tenant instances on first contact); events for
+// unregistered instances fail their diagnosis (counted in Stats.Failed).
 func (s *Service) AddInstance(id string, env Env) {
+	s.envmu.Lock()
+	defer s.envmu.Unlock()
 	if s.envs == nil {
 		s.envs = make(map[string]Env)
 	}
 	s.envs[id] = env
+}
+
+// HasInstance reports whether a per-instance environment is registered.
+func (s *Service) HasInstance(id string) bool {
+	s.envmu.RLock()
+	defer s.envmu.RUnlock()
+	_, ok := s.envs[id]
+	return ok
 }
 
 // envFor resolves the environment an event diagnoses against.
@@ -359,7 +372,9 @@ func (s *Service) envFor(instance string) (Env, bool) {
 	if instance == "" {
 		return s.env, true
 	}
+	s.envmu.RLock()
 	env, ok := s.envs[instance]
+	s.envmu.RUnlock()
 	return env, ok
 }
 

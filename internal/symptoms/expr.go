@@ -125,9 +125,15 @@ func MustParseExpr(src string) Expr {
 	return e
 }
 
+// maxExprDepth bounds expression nesting so hostile input (a long
+// not(not(not(... chain) fails with an error instead of exhausting the
+// goroutine stack. Built-in and mined expressions nest two or three deep.
+const maxExprDepth = 64
+
 type exprParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *exprParser) skipSpace() {
@@ -159,6 +165,11 @@ func (p *exprParser) expect(c byte) error {
 }
 
 func (p *exprParser) parse() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, fmt.Errorf("expression nested deeper than %d at offset %d", maxExprDepth, p.pos)
+	}
 	p.skipSpace()
 	name := p.ident()
 	if name == "" {

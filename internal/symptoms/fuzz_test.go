@@ -1,0 +1,63 @@
+package symptoms
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExpr hammers the condition-expression parser with hostile
+// input. ParseExpr must never panic (hostile fact names already bit the
+// fleet coordinator once, via Miner.Propose), must refuse pathological
+// nesting instead of overflowing the stack, and any expression it
+// accepts must round-trip: String() re-parses to an identical
+// rendering — the property Parse and validation reports rely on when
+// they serialize expressions back out.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"exists(new-volume-in-pool:$P)",
+		"ge(metric-anomaly:$V:*, 0.8)",
+		"and(ge(metric-anomaly:$V:*, 0.8), ge(cos-leaf-frac:$V, 0.5))",
+		"or(exists(a), exists(b), exists(c))",
+		"not(exists(record-anomaly:*))",
+		"before(new-volume-in-pool:$P, first-unsat-run)",
+		"ge(lock-anomaly:db, 0.8)",
+		"exists(metric with spaces:$S)",
+		"and(exists(a)", // unterminated
+		"ge(x, nope)",   // bad threshold
+		"frob(a)",       // unknown function
+		"",
+		strings.Repeat("not(", 80) + "exists(a)" + strings.Repeat(")", 80),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := ParseExpr(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if got := e2.String(); got != rendered {
+			t.Fatalf("round-trip not stable: %q -> %q -> %q", src, rendered, got)
+		}
+	})
+}
+
+// TestParseExprDepthLimit pins the anti-stack-overflow guard the fuzz
+// target depends on: nesting past maxExprDepth is an error, nesting at
+// the limit still parses.
+func TestParseExprDepthLimit(t *testing.T) {
+	deep := strings.Repeat("not(", maxExprDepth) + "exists(a)" + strings.Repeat(")", maxExprDepth)
+	if _, err := ParseExpr(deep); err == nil ||
+		!strings.Contains(err.Error(), "nested deeper") {
+		t.Fatalf("depth %d should exceed the limit: %v", maxExprDepth+1, err)
+	}
+	ok := strings.Repeat("not(", maxExprDepth-1) + "exists(a)" + strings.Repeat(")", maxExprDepth-1)
+	if _, err := ParseExpr(ok); err != nil {
+		t.Fatalf("depth %d should parse: %v", maxExprDepth, err)
+	}
+}

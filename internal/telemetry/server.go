@@ -7,19 +7,34 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 )
 
 // Server is the daemon's scrape surface: /metrics in Prometheus text
-// format, /healthz, /traces (recent spans as JSON), and the standard
-// /debug/pprof profiles — all on one small listener that lives beside
-// the simulation without touching it.
+// format, /healthz (liveness), /readyz (readiness), /traces (recent
+// spans as JSON), and the standard /debug/pprof profiles — all on one
+// small listener that lives beside the simulation without touching it.
+// Other subsystems share the listener by mounting their own route
+// trees with Mount (the HTTP API mounts /v1/ here), so the daemon has
+// exactly one serving mux.
+//
+// Liveness and readiness are split so load balancers can rotate
+// instances safely: /healthz answers "the process is up" and never
+// goes false while the listener is alive, while /readyz answers "send
+// traffic here" — false until the serving surface has seen its first
+// ingest watermark advance, and false again while the daemon drains
+// for shutdown (see SetReady).
 type Server struct {
 	reg    *Registry
 	tracer *Tracer
 	srv    *http.Server
 	ln     net.Listener
 	start  time.Time
+
+	mu     sync.Mutex
+	mounts map[string]http.Handler
+	ready  func() (bool, string)
 }
 
 // NewServer assembles a server over the registry and tracer (nil means
@@ -31,7 +46,8 @@ func NewServer(addr string, reg *Registry, tracer *Tracer) *Server {
 	if tracer == nil {
 		tracer = DefaultTracer()
 	}
-	s := &Server{reg: reg, tracer: tracer, start: time.Now()}
+	s := &Server{reg: reg, tracer: tracer, start: time.Now(),
+		mounts: make(map[string]http.Handler)}
 	s.srv = &http.Server{
 		Addr:         addr,
 		Handler:      s.Handler(),
@@ -41,17 +57,42 @@ func NewServer(addr string, reg *Registry, tracer *Tracer) *Server {
 	return s
 }
 
+// Mount attaches a handler under the given mux pattern (e.g. "/v1/"),
+// sharing the telemetry listener. Call before Start; patterns must not
+// collide with the built-in telemetry routes.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mounts[pattern] = h
+	s.srv.Handler = s.Handler()
+}
+
+// SetReady installs the readiness probe behind /readyz. The callback
+// reports whether the instance should receive traffic and, when not,
+// why (rendered in the JSON body). Without a callback /readyz mirrors
+// /healthz — a process with no gated serving surface is ready the
+// moment it is alive.
+func (s *Server) SetReady(fn func() (ok bool, reason string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready = fn
+}
+
 // Handler returns the route mux (tests drive it via httptest).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range s.mounts {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -75,11 +116,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(s.reg.Exposition())
 }
 
+// handleHealthz is the liveness probe: alive as long as the listener
+// answers. Rotation decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only while the instance
+// should receive traffic (503 otherwise, with the reason in the body).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.ready
+	s.mu.Unlock()
+	ok, reason := true, ""
+	if fn != nil {
+		ok, reason = fn()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"ready":  ok,
+		"reason": reason,
 	})
 }
 
