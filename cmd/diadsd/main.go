@@ -109,6 +109,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "diadsd: telemetry listener:", err)
 			os.Exit(1)
 		}
+		//lint:allow errdiscard best-effort telemetry listener teardown on exit; nothing left to report to
 		defer srv.Close()
 		logger.Info("telemetry listening", "addr", addr,
 			"endpoints", "/metrics /healthz /traces /debug/pprof")
@@ -250,6 +251,7 @@ func serve(addr string, seed int64, workers int, learnedPath string,
 			return err
 		}
 	}
+	//lint:allow errdiscard best-effort telemetry listener teardown on exit; nothing left to report to
 	srv.Close()
 	logger.Info("drained and stopped")
 	return nil

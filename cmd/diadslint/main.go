@@ -1,0 +1,82 @@
+// Command diadslint machine-checks the repo's determinism,
+// evidence-window, and telemetry contracts. It loads the packages
+// matching its arguments (default ./...), runs the analyzer suite in
+// internal/lint against each package's policy domain, and prints
+// findings.
+//
+// Usage:
+//
+//	diadslint [-json] [-counts] [packages...]
+//
+// Exit status is 1 when any unsuppressed finding remains (including
+// malformed //lint:allow directives), 2 on load/type-check failure.
+// Suppressed findings never fail the run but are always counted;
+// -counts prints the per-analyzer finding/suppression totals so
+// suppression creep stays visible in CI logs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"diads/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print findings and counts as JSON")
+	counts := flag.Bool("counts", false, "print per-analyzer finding/suppression totals")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: diadslint [-json] [-counts] [packages...]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diadslint: %v\n", err)
+		os.Exit(2)
+	}
+	res := lint.Run(nil, pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "diadslint: encoding result: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			mark := ""
+			if f.Suppressed {
+				mark = " (suppressed: " + f.Reason + ")"
+			}
+			fmt.Printf("%s: [%s] %s%s\n", f.Pos, f.Analyzer, f.Message, mark)
+		}
+	}
+	if *counts && !*jsonOut {
+		names := make([]string, 0, len(res.Counts))
+		for name := range res.Counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("diadslint: %d packages\n", len(pkgs))
+		for _, name := range names {
+			c := res.Counts[name]
+			fmt.Printf("  %-11s findings=%d suppressed=%d\n", name, c.Findings, c.Suppressed)
+		}
+	}
+	if res.Failed() {
+		os.Exit(1)
+	}
+}

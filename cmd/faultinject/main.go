@@ -44,6 +44,7 @@ func run(name string, seed int64) error {
 	for i := range tb.Loads {
 		tb.Loads[i].Window = simtime.NewInterval(0, horizon)
 	}
+	//lint:allow readwindow fault onset placement (just before a run), not an evidence read window
 	onset := simtime.Time(10*simtime.Minute) + simtime.Time(simtime.Duration(runs/2)*30*simtime.Minute) -
 		simtime.Time(5*simtime.Minute)
 

@@ -89,6 +89,7 @@ func main() {
 		}
 	}
 	sort.SliceStable(samples, func(i, j int) bool { return samples[i].T < samples[j].T })
+	//lint:allow readwindow watermark margin past every possible read window, not a read window itself
 	final := float64(env.Horizon.Add(2 * metrics.DefaultMonitorInterval))
 	for i := 0; i < len(samples); i += 4096 {
 		end := min(i+4096, len(samples))

@@ -423,6 +423,7 @@ func (n *Node) release(in *instance, traceID string) {
 				{Key: "request", Value: traceID},
 			},
 		})
+		//lint:allow errdiscard backpressure sheds the event by design; Stats.Rejected counts it and re-detection recovers
 		_ = n.svc.Submit(ev)
 	}
 }

@@ -39,6 +39,7 @@ func BuildFacts(in *Input, g *apg.APG, pd *PDResult, co *COResult, da *DAResult,
 	}
 
 	if cr != nil {
+		//lint:allow mapiter FactBase.Add is a keyed max-merge, commutative across entries
 		for table, score := range cr.TableScores {
 			fb.Add("record-anomaly:"+table, score)
 		}
@@ -95,6 +96,7 @@ func addCOSStructureFacts(fb *symptoms.FactBase, g *apg.APG, co *COResult) {
 		}
 	}
 	fb.Add("cos-leaf-frac-any", anyFrac)
+	//lint:allow mapiter FactBase.Add is a keyed max-merge, commutative across entries
 	for pool, frac := range poolFrac {
 		fb.Add("cos-leaf-frac-pool:"+string(pool), frac)
 	}
@@ -137,6 +139,7 @@ func addDerivedDAFacts(fb *symptoms.FactBase, in *Input, da *DAResult) {
 			volLoad[topology.ID(s.Component)] = s.Score
 		}
 	}
+	//lint:allow mapiter SharingVolumes is a pure topology query and the per-volume facts are keyed by vol
 	for vol := range volLoad {
 		var max float64
 		for _, sib := range in.Cfg.SharingVolumes(vol) {

@@ -132,7 +132,10 @@ func apgCacheSpec() *pipeline.CacheSpec {
 			return in.CacheScope + "|" + mustDep[*PDResult](bb, KeyPD).CommonPlan.Signature(), true
 		},
 		Get: func(bb *pipeline.Blackboard, key string) (any, bool) {
-			in, _ := inputOf(bb)
+			in, err := inputOf(bb)
+			if err != nil {
+				return nil, false
+			}
 			g, ok := in.APGCache.Get(key)
 			if !ok {
 				return nil, false
@@ -140,7 +143,10 @@ func apgCacheSpec() *pipeline.CacheSpec {
 			return g, true
 		},
 		Put: func(bb *pipeline.Blackboard, key string, v any) {
-			in, _ := inputOf(bb)
+			in, err := inputOf(bb)
+			if err != nil {
+				return
+			}
 			in.APGCache.Put(key, v.(*apg.APG))
 		},
 	}
@@ -222,7 +228,10 @@ func sdCacheSpec() *pipeline.CacheSpec {
 			return key, true
 		},
 		Get: func(bb *pipeline.Blackboard, key string) (any, bool) {
-			in, _ := inputOf(bb)
+			in, err := inputOf(bb)
+			if err != nil {
+				return nil, false
+			}
 			causes, ok := in.SDCache.Get(key)
 			if !ok {
 				return nil, false
@@ -230,7 +239,10 @@ func sdCacheSpec() *pipeline.CacheSpec {
 			return causes, true
 		},
 		Put: func(bb *pipeline.Blackboard, key string, v any) {
-			in, _ := inputOf(bb)
+			in, err := inputOf(bb)
+			if err != nil {
+				return
+			}
 			in.SDCache.Put(key, v.([]symptoms.CauseInstance))
 		},
 	}

@@ -19,6 +19,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"diads/internal/dbsys"
 	"diads/internal/plan"
@@ -115,6 +116,22 @@ func (r *RunRecord) Duration() simtime.Duration { return r.Stop.Sub(r.Start) }
 // Op returns the OpRun for the given operator ID.
 func (r *RunRecord) Op(id int) *OpRun { return r.Ops[id] }
 
+// opsByID returns the run's operators in ascending ID order. Ops is a
+// map, and both the float accumulations and the fed-back SAN load
+// segments must visit operators in a run-independent order.
+func (r *RunRecord) opsByID() []*OpRun {
+	ids := make([]int, 0, len(r.Ops))
+	for id := range r.Ops {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ops := make([]*OpRun, len(ids))
+	for i, id := range ids {
+		ops[i] = r.Ops[id]
+	}
+	return ops
+}
+
 // Run executes p starting at start and returns its monitoring record.
 func (e *Engine) Run(p *plan.Plan, start simtime.Time, runID string) (*RunRecord, error) {
 	if len(p.Nodes()) == 0 {
@@ -168,7 +185,7 @@ func (e *Engine) Run(p *plan.Plan, start simtime.Time, runID string) (*RunRecord
 	total := walk(p.Root)
 	rec.Stop = start.Add(total)
 
-	for _, op := range rec.Ops {
+	for _, op := range rec.opsByID() {
 		rec.PhysIO += op.PhysIO
 		rec.CacheHit += op.CacheHit
 		rec.LockWait += op.LockWait
@@ -336,7 +353,7 @@ func (e *Engine) indexScanTime(n *plan.Node, cards plan.Cardinalities, t simtime
 // feedBackLoad converts the run's leaf I/O into SAN load segments so the
 // monitoring series show the query's own activity on its volumes.
 func (e *Engine) feedBackLoad(rec *RunRecord) {
-	for _, op := range rec.Ops {
+	for _, op := range rec.opsByID() {
 		if op.PhysIO <= 0 || op.Table == "" {
 			continue
 		}

@@ -64,6 +64,7 @@ func scheduleHorizon() simtime.Time {
 // faultOnset returns the scenario fault onset: just before the second
 // half of the schedule.
 func faultOnset() simtime.Time {
+	//lint:allow readwindow fault onset placement (just before a run), not an evidence read window
 	return simtime.Time(10*simtime.Minute) +
 		simtime.Time(simtime.Duration(scenarioRuns/2)*30*simtime.Minute) -
 		simtime.Time(5*simtime.Minute)

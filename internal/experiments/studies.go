@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"diads/internal/baseline"
@@ -69,9 +70,9 @@ func (r *KDERobustnessResult) Render() string {
 		fmt.Fprintf(&b, "%8d", n)
 	}
 	b.WriteString("\n")
-	for name, accs := range sortedSeries(r.Accuracy) {
-		fmt.Fprintf(&b, "%-24s", name)
-		for _, a := range accs {
+	for _, s := range sortedSeries(r.Accuracy) {
+		fmt.Fprintf(&b, "%-24s", s.name)
+		for _, a := range s.accs {
 			fmt.Fprintf(&b, "%8.3f", a)
 		}
 		b.WriteString("\n")
@@ -82,9 +83,9 @@ func (r *KDERobustnessResult) Render() string {
 		fmt.Fprintf(&b, "%8.2f", s)
 	}
 	b.WriteString("\n")
-	for name, accs := range sortedSeries(r.NoiseAccuracy) {
-		fmt.Fprintf(&b, "%-24s", name)
-		for _, a := range accs {
+	for _, s := range sortedSeries(r.NoiseAccuracy) {
+		fmt.Fprintf(&b, "%-24s", s.name)
+		for _, a := range s.accs {
 			fmt.Fprintf(&b, "%8.3f", a)
 		}
 		b.WriteString("\n")
@@ -92,14 +93,32 @@ func (r *KDERobustnessResult) Render() string {
 	return b.String()
 }
 
-// sortedSeries yields map entries in deterministic name order.
-func sortedSeries(m map[string][]float64) map[string][]float64 {
-	// Maps iterate randomly; render through an ordered copy.
-	ordered := make(map[string][]float64, len(m))
+type namedSeries struct {
+	name string
+	accs []float64
+}
+
+// sortedSeries yields map entries in deterministic name order: the
+// known scorers first, in presentation order, then any others sorted by
+// name. (Copying into a second map does not order iteration.)
+func sortedSeries(m map[string][]float64) []namedSeries {
+	ordered := make([]namedSeries, 0, len(m))
+	seen := make(map[string]bool, len(m))
 	for _, name := range []string{"KDE", "Gaussian-model", "Threshold-correlation"} {
 		if v, ok := m[name]; ok {
-			ordered[name] = v
+			ordered = append(ordered, namedSeries{name, v})
+			seen[name] = true
 		}
+	}
+	rest := make([]string, 0, len(m))
+	for name := range m {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		ordered = append(ordered, namedSeries{name, m[name]})
 	}
 	return ordered
 }

@@ -163,6 +163,7 @@ func scoreOrProbe(res *diag.Result, in *diag.Input, component string, m metrics.
 	if s := res.DA.ScoreOf(component, m); s > 0 {
 		return s
 	}
+	//lint:allow errdiscard a failed probe degrades to a zero score, matching the paper's table shape
 	s, _ := diag.ProbeMetricScore(in, component, m)
 	return s
 }

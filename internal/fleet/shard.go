@@ -297,6 +297,7 @@ func (sh *shard) submitWaves(ctx context.Context, released []monitor.SlowdownEve
 		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {
 			j++
 		}
+		//lint:allow walltime telemetry-only wall timing of the wave; never enters evidence
 		waveStart := time.Now()
 		for _, ev := range released[i:j] {
 			switch err := sh.svc.Submit(ev); err {
@@ -311,6 +312,7 @@ func (sh *shard) submitWaves(ctx context.Context, released []monitor.SlowdownEve
 		sh.svc.Wait()
 		sh.quietProbes(ctx, released[i:j])
 		sh.depositConfirmed(released[i].ReadWindow.End)
+		//lint:allow walltime telemetry-only wall timing of the wave; never enters evidence
 		waveWall := time.Since(waveStart)
 		sh.waves.Inc()
 		sh.released.Add(int64(j - i))

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strings"
+)
+
+// directiveAnalyzer names the pseudo-analyzer that reports malformed
+// //lint:allow comments. Its findings cannot be suppressed.
+const directiveAnalyzer = "directive"
+
+const directivePrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+}
+
+// directiveIndex maps (file, line) to the suppressions declared there.
+// A directive covers findings on its own line (trailing comment) and
+// on the line directly below it (comment above the statement).
+type directiveIndex map[string]map[int][]directive
+
+func (idx directiveIndex) covering(file string, line int, analyzer string) (string, bool) {
+	lines := idx[file]
+	for _, l := range []int{line, line - 1} {
+		for _, d := range lines[l] {
+			if d.analyzer == analyzer {
+				return d.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseDirectives scans a package's comments for //lint:allow
+// directives. Malformed directives — no analyzer, unknown analyzer, or
+// a missing reason — are findings in their own right: a suppression
+// without a recorded justification is how suppression creep starts.
+func parseDirectives(pkg *Package) (directiveIndex, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	idx := make(directiveIndex)
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				bad := func(msg string) {
+					findings = append(findings, Finding{
+						Analyzer: directiveAnalyzer,
+						Package:  pkg.ImportPath,
+						Pos:      pos.String(),
+						Message:  msg,
+						line:     pos.Line,
+						file:     pos.Filename,
+					})
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// Some other //lint:allowX token; not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad("//lint:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad("//lint:allow names unknown analyzer " + name)
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					bad("//lint:allow " + name + " needs a non-empty reason")
+					continue
+				}
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int][]directive)
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line],
+					directive{analyzer: name, reason: reason})
+			}
+		}
+	}
+	return idx, findings
+}

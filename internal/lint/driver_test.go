@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays out a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDriverSyntheticTree lints a synthetic module end-to-end — load,
+// policy resolution, analysis, suppression, JSON round-trip — without
+// touching the repo's own packages.
+func TestDriverSyntheticTree(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module synthetic\n\ngo 1.24\n",
+		// det: determinism domain; one walltime hit, one suppressed
+		// mapiter hit, one errdiscard hit against its own helper.
+		"det/det.go": `package det
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Fallible() error { return nil }
+
+func Drop() {
+	Fallible()
+}
+
+func Merge(m map[string]error) error {
+	//lint:allow mapiter any representative error will do
+	for _, err := range m {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`,
+		// svc: service domain; wall clock is allowed, discarded module
+		// errors are not.
+		"svc/svc.go": `package svc
+
+import (
+	"time"
+
+	"synthetic/det"
+)
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Drop() { det.Fallible() }
+`,
+	})
+
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	cfg := &Config{
+		ModulePath: "synthetic",
+		Policy: func(importPath string) (Domain, []string) {
+			if importPath == "synthetic/svc" {
+				return DomainService, nil
+			}
+			return DomainDeterminism, nil
+		},
+	}
+	res := Run(cfg, pkgs)
+
+	type key struct{ analyzer, pkg string }
+	got := make(map[key]int)
+	for _, f := range res.Findings {
+		if !f.Suppressed {
+			got[key{f.Analyzer, f.Package}]++
+		}
+	}
+	want := map[key]int{
+		{"walltime", "synthetic/det"}:   1,
+		{"errdiscard", "synthetic/det"}: 1,
+		{"errdiscard", "synthetic/svc"}: 1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s findings in %s = %d, want %d", k.analyzer, k.pkg, got[k], n)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unexpected findings: %d × %s in %s", got[k], k.analyzer, k.pkg)
+		}
+	}
+	if c := res.Counts["mapiter"]; c.Suppressed != 1 || c.Findings != 0 {
+		t.Errorf("mapiter counts = %+v, want 1 suppressed / 0 findings", c)
+	}
+	if !res.Failed() {
+		t.Error("run with unsuppressed findings must fail")
+	}
+
+	// JSON shape: CI consumes {"findings": [...], "counts": {...}} with
+	// stable field names.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []map[string]any          `json:"findings"`
+		Counts   map[string]map[string]int `json:"counts"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Findings) != len(res.Findings) {
+		t.Fatalf("JSON findings = %d, want %d", len(decoded.Findings), len(res.Findings))
+	}
+	for _, f := range decoded.Findings {
+		for _, field := range []string{"analyzer", "package", "pos", "message"} {
+			if _, ok := f[field].(string); !ok {
+				t.Errorf("finding %v: field %q missing or not a string", f, field)
+			}
+		}
+		if sup, ok := f["suppressed"].(bool); ok && sup {
+			if _, ok := f["reason"].(string); !ok {
+				t.Errorf("suppressed finding %v has no reason", f)
+			}
+		}
+	}
+	if decoded.Counts["mapiter"]["suppressed"] != 1 {
+		t.Errorf("JSON counts[mapiter][suppressed] = %d, want 1", decoded.Counts["mapiter"]["suppressed"])
+	}
+	if decoded.Counts["walltime"]["findings"] != 1 {
+		t.Errorf("JSON counts[walltime][findings] = %d, want 1", decoded.Counts["walltime"]["findings"])
+	}
+}
+
+// TestDriverCleanTree pins the zero-finding path: a clean module
+// yields an empty result that does not fail.
+func TestDriverCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module clean\n\ngo 1.24\n",
+		"ok/ok.go": `package ok
+
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`,
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(&Config{ModulePath: "clean"}, pkgs)
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean tree produced findings: %+v", res.Findings)
+	}
+	if res.Failed() {
+		t.Error("clean tree must not fail")
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	cases := []struct {
+		path   string
+		domain Domain
+		exempt string // one analyzer expected exempt, "" for none
+	}{
+		{"diads", DomainDeterminism, ""},
+		{"diads/internal/sanperf", DomainDeterminism, ""},
+		{"diads/internal/fleet", DomainDeterminism, ""},
+		{"diads/internal/simtime", DomainDeterminism, "walltime"},
+		{"diads/internal/metrics", DomainDeterminism, "readwindow"},
+		{"diads/internal/telemetry", DomainService, ""},
+		{"diads/internal/telemetry/selfmon", DomainService, ""},
+		{"diads/internal/api", DomainService, ""},
+		{"diads/cmd/diadsd", DomainTool, ""},
+		{"diads/examples/quickstart", DomainTool, ""},
+		{"diads/internal/lint", DomainTool, ""},
+		// Fail closed: unknown packages get the strict contract.
+		{"diads/internal/newdetector", DomainDeterminism, ""},
+	}
+	for _, c := range cases {
+		domain, exempt := PolicyFor(c.path)
+		if domain != c.domain {
+			t.Errorf("PolicyFor(%s) domain = %s, want %s", c.path, domain, c.domain)
+		}
+		if c.exempt == "" && len(exempt) != 0 {
+			t.Errorf("PolicyFor(%s) exempt = %v, want none", c.path, exempt)
+		}
+		if c.exempt != "" && !exempted(exempt, c.exempt) {
+			t.Errorf("PolicyFor(%s) exempt = %v, want %s", c.path, exempt, c.exempt)
+		}
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"diads_runs_total":        true,
+		"diads_api_latency_ms_9":  true,
+		"diads_":                  false,
+		"fleet_depth":             false,
+		"diads_WaveSeconds":       false,
+		"diads_wave-seconds":      false,
+		"prefix_diads_runs_total": false,
+	} {
+		if got := validMetricName(name); got != want {
+			t.Errorf("validMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

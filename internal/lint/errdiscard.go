@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscardAnalyzer flags discarded error returns from this module's
+// own functions: bare call statements, `_ =` assignments, and blank
+// identifiers aligned with an error result in multi-assignments
+// (`v, _ := f()`). PR 5 existed in part because symdb.Add errors were
+// silently swallowed; an error a diads function bothers to return is a
+// contract, and dropping it on the floor hides exactly the failures
+// the reproducibility story depends on. Stdlib and third-party callees
+// are out of scope (fmt.Fprintf to a strings.Builder is fine).
+// Intentional discards annotate the site with
+// //lint:allow errdiscard <reason>.
+var ErrDiscardAnalyzer = &Analyzer{
+	Name:    "errdiscard",
+	Doc:     "discarded error return from a diads function",
+	Domains: []Domain{DomainDeterminism, DomainService, DomainTool},
+	Run:     runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "defer ")
+			case *ast.AssignStmt:
+				checkAssignDiscard(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall reports a statement-position call to a module function
+// whose results include an error.
+func checkBareCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	fn, idx := moduleErrorResult(pass, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s returns an error (result %d) that is discarded; handle it or annotate //lint:allow errdiscard <reason>",
+		prefix, fnLabel(fn), idx)
+}
+
+// checkAssignDiscard reports blank identifiers aligned with an error
+// result of a module call: `_ = f()`, `v, _ := f()`, `_, _ = f(), g()`.
+func checkAssignDiscard(pass *Pass, as *ast.AssignStmt) {
+	// Tuple form: x, _ := f()
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, idx := moduleErrorResult(pass, call)
+		if fn == nil || idx >= len(as.Lhs) {
+			return
+		}
+		if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"error result of %s assigned to _; handle it or annotate //lint:allow errdiscard <reason>",
+				fnLabel(fn))
+		}
+		return
+	}
+	// Parallel form: _ = f(), each position independent.
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, _ := moduleErrorResult(pass, call)
+		if fn == nil {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"error result of %s assigned to _; handle it or annotate //lint:allow errdiscard <reason>",
+			fnLabel(fn))
+	}
+}
+
+// moduleErrorResult resolves call to a statically-known function
+// defined in this module whose results include an error, returning the
+// function and the error result index. It returns (nil, 0) otherwise.
+func moduleErrorResult(pass *Pass, call *ast.CallExpr) (*types.Func, int) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, 0
+	}
+	module := pass.Config.modulePath()
+	path := fn.Pkg().Path()
+	if path != module && !strings.HasPrefix(path, module+"/") {
+		return nil, 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return fn, i
+		}
+	}
+	return nil, 0
+}
+
+// fnLabel renders a function as pkg.Func or pkg.(Recv).Method.
+func fnLabel(fn *types.Func) string {
+	pkg := fn.Pkg().Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureExports builds (once per test binary) the import-path →
+// export-data index the fixture loader resolves diads and stdlib
+// imports from. Fixtures exercise real module packages (simtime,
+// metrics, telemetry), so the index covers the whole module plus
+// dependencies.
+var fixtureExports = sync.OnceValues(func() (map[string]string, error) {
+	// The diads/... pattern resolves from any directory inside the
+	// module (tests run with cwd = this package's directory).
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Export", "diads/...")
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export ./...: %v", err)
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})
+
+// loadFixture type-checks testdata/src/<name> as a package under the
+// diads module path so errdiscard treats fixture helpers as module
+// functions.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	exports, err := fixtureExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := checkFiles(fset, imp, "diads/lintfixture/"+name, dir, goFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// wantMarkers reads `// want <analyzer>` markers from a fixture,
+// returning the set of expected (line, analyzer) findings.
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	re := regexp.MustCompile(`// want (\w+)`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range re.FindAllStringSubmatch(sc.Text(), -1) {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), line, m[1])] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// fixturePolicy runs fixtures in the determinism domain with no
+// exemptions, so every analyzer is live.
+func fixturePolicy(string) (Domain, []string) { return DomainDeterminism, nil }
+
+// runFixture lints one fixture package and compares unsuppressed
+// findings against the `// want` markers, returning the result for
+// extra assertions.
+func runFixture(t *testing.T, name string) *Result {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	res := Run(&Config{Policy: fixturePolicy}, []*Package{pkg})
+
+	got := make(map[string]bool)
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			continue
+		}
+		base := filepath.Base(f.file)
+		got[fmt.Sprintf("%s:%d:%s", base, f.line, f.Analyzer)] = true
+	}
+	want := wantMarkers(t, filepath.Join("testdata", "src", name))
+	var missing, extra []string
+	for w := range want {
+		if !got[w] {
+			missing = append(missing, w)
+		}
+	}
+	for g := range got {
+		if !want[g] {
+			extra = append(extra, g)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 {
+		t.Errorf("expected findings not reported:\n  %s", strings.Join(missing, "\n  "))
+	}
+	if len(extra) > 0 {
+		t.Errorf("unexpected findings:\n  %s", strings.Join(extra, "\n  "))
+	}
+	return res
+}
+
+func TestMapIterFixture(t *testing.T) {
+	res := runFixture(t, "mapiter")
+	if c := res.Counts["mapiter"]; c.Suppressed != 1 {
+		t.Errorf("mapiter suppressed = %d, want 1 (the annotated representative-error loop)", c.Suppressed)
+	}
+}
+
+func TestWallTimeFixture(t *testing.T) {
+	runFixture(t, "walltime")
+}
+
+func TestReadWindowFixture(t *testing.T) {
+	runFixture(t, "readwindow")
+}
+
+func TestMetricNameFixture(t *testing.T) {
+	runFixture(t, "metricname")
+}
+
+func TestErrDiscardFixture(t *testing.T) {
+	res := runFixture(t, "errdiscard")
+	if c := res.Counts["errdiscard"]; c.Suppressed != 1 {
+		t.Errorf("errdiscard suppressed = %d, want 1 (the annotated Close)", c.Suppressed)
+	}
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	res := Run(&Config{Policy: fixturePolicy}, []*Package{pkg})
+	var lines []int
+	for _, f := range res.Findings {
+		if f.Analyzer != directiveAnalyzer {
+			t.Errorf("unexpected %s finding at %s", f.Analyzer, f.Pos)
+			continue
+		}
+		if f.Suppressed {
+			t.Errorf("directive finding at %s is suppressed; malformed directives must not be suppressible", f.Pos)
+		}
+		lines = append(lines, f.line)
+	}
+	sort.Ints(lines)
+	want := []int{8, 11, 14}
+	if fmt.Sprint(lines) != fmt.Sprint(want) {
+		t.Errorf("directive findings at lines %v, want %v", lines, want)
+	}
+	if !res.Failed() {
+		t.Error("malformed directives must fail the run")
+	}
+}

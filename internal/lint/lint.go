@@ -1,0 +1,244 @@
+// Package lint is the diadslint analyzer suite: a dependency-free
+// (go/ast + go/parser + go/token + go/types, no golang.org/x/tools)
+// driver plus the repo-specific analyzers that machine-check the
+// contracts DESIGN.md states in prose — determinism of everything that
+// feeds a rendered report, the single evidence-window definition
+// (metrics.ReadWindow), and the statically-enumerable telemetry
+// namespace.
+//
+// The driver loads packages itself by shelling out to `go list -export
+// -deps -json` and type-checking each target package from source
+// against the toolchain's export data, so the analyzers see full type
+// information without importing any third-party loader. Which rules
+// apply to which package is a single declarative table in policy.go.
+//
+// Findings can be suppressed at the site with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a bare //lint:allow is itself a finding. Suppressed
+// findings still count (cmd/diadslint -counts) so suppression creep
+// stays visible in CI logs.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, serializable for CI consumption.
+type Finding struct {
+	// Analyzer is the rule that fired (mapiter, walltime, readwindow,
+	// metricname, errdiscard, or "directive" for malformed //lint:allow
+	// comments, which cannot themselves be suppressed).
+	Analyzer string `json:"analyzer"`
+	// Package is the import path of the package containing the site.
+	Package string `json:"package"`
+	// Pos is the file:line:column of the flagged node.
+	Pos string `json:"pos"`
+	// Message explains the violation and the expected remedy.
+	Message string `json:"message"`
+	// Suppressed reports whether a //lint:allow directive covers the
+	// site. Suppressed findings do not fail the run but are counted.
+	Suppressed bool `json:"suppressed,omitempty"`
+	// Reason is the suppression reason, when suppressed.
+	Reason string `json:"reason,omitempty"`
+
+	line int // position line, for directive matching
+	file string
+}
+
+// Analyzer is one rule. Run inspects the pass's files and reports
+// findings through pass.Report.
+type Analyzer struct {
+	// Name is the rule name used in findings and //lint:allow comments.
+	Name string
+	// Doc is the one-line rule description (shown by diadslint -help).
+	Doc string
+	// Domains lists the policy domains the rule applies to.
+	Domains []Domain
+	// Run executes the rule over one package.
+	Run func(*Pass)
+}
+
+// appliesTo reports whether the analyzer runs in domain d.
+func (a *Analyzer) appliesTo(d Domain) bool {
+	for _, ad := range a.Domains {
+		if ad == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ImportPath is the package's import path as go list reports it.
+	ImportPath string
+	// Domain is the policy domain the package resolved to.
+	Domain Domain
+	// Config is the driver configuration (module path, policy).
+	Config *Config
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Package:  p.ImportPath,
+		Pos:      position.String(),
+		Message:  fmt.Sprintf(format, args...),
+		line:     position.Line,
+		file:     position.Filename,
+	})
+}
+
+// Config parameterizes a lint run. The zero value is completed by
+// Default* fallbacks in Run: the diads module path and the repo policy
+// table.
+type Config struct {
+	// ModulePath scopes errdiscard: only errors returned by functions
+	// defined under this module are must-handle. Defaults to "diads".
+	ModulePath string
+	// Policy maps an import path to its domain and per-package rule
+	// exemptions. Defaults to PolicyFor (the table in policy.go).
+	Policy func(importPath string) (Domain, []string)
+}
+
+func (c *Config) modulePath() string {
+	if c.ModulePath == "" {
+		return "diads"
+	}
+	return c.ModulePath
+}
+
+func (c *Config) policy(importPath string) (Domain, []string) {
+	if c.Policy == nil {
+		return PolicyFor(importPath)
+	}
+	return c.Policy(importPath)
+}
+
+// Analyzers returns the full rule set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIterAnalyzer,
+		WallTimeAnalyzer,
+		ReadWindowAnalyzer,
+		MetricNameAnalyzer,
+		ErrDiscardAnalyzer,
+	}
+}
+
+// Counts aggregates per-analyzer totals for one run.
+type Counts struct {
+	// Findings is the number of unsuppressed findings.
+	Findings int `json:"findings"`
+	// Suppressed is the number of findings covered by //lint:allow.
+	Suppressed int `json:"suppressed"`
+}
+
+// Result is a completed lint run.
+type Result struct {
+	Findings []Finding         `json:"findings"`
+	Counts   map[string]Counts `json:"counts"`
+}
+
+// Failed reports whether the run should fail CI: any unsuppressed
+// finding, including malformed directives.
+func (r *Result) Failed() bool {
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Run lints the loaded packages with every applicable analyzer and
+// resolves suppressions. Findings come back sorted by position.
+func Run(cfg *Config, pkgs []*Package) *Result {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		domain, exempt := cfg.policy(pkg.ImportPath)
+		dirs, dirFindings := parseDirectives(pkg)
+		findings = append(findings, dirFindings...)
+		for _, a := range Analyzers() {
+			if !a.appliesTo(domain) || exempted(exempt, a.Name) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				ImportPath: pkg.ImportPath,
+				Domain:     domain,
+				Config:     cfg,
+				findings:   &findings,
+			}
+			a.Run(pass)
+		}
+		// Resolve suppressions for this package's findings.
+		for i := range findings {
+			f := &findings[i]
+			if f.Package != pkg.ImportPath || f.Suppressed || f.Analyzer == directiveAnalyzer {
+				continue
+			}
+			if reason, ok := dirs.covering(f.file, f.line, f.Analyzer); ok {
+				f.Suppressed = true
+				f.Reason = reason
+			}
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	counts := make(map[string]Counts)
+	for _, f := range findings {
+		c := counts[f.Analyzer]
+		if f.Suppressed {
+			c.Suppressed++
+		} else {
+			c.Findings++
+		}
+		counts[f.Analyzer] = c
+	}
+	return &Result{Findings: findings, Counts: counts}
+}
+
+func exempted(exempt []string, name string) bool {
+	for _, e := range exempt {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file name is a _test.go file. The
+// loader only hands the driver non-test files, but analyzers guard
+// anyway so ad-hoc file lists (tests, fixtures) behave identically.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}

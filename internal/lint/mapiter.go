@@ -1,0 +1,644 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MapIterAnalyzer flags `for range` over a map in determinism-domain
+// packages unless the loop body is provably order-insensitive or the
+// accumulated keys/values are sorted before use. Map iteration order
+// is randomized per run; any order-sensitive effect inside the loop —
+// most insidiously a draw from a stateful RNG or sampler, which is the
+// exact shape of the PR 4 EmitNetworkMetrics bug — leaks that order
+// into rendered evidence.
+//
+// Recognized order-insensitive shapes (everything else is a finding):
+//
+//   - building another map keyed by the loop key: dst[k] = v, dst[k] += v
+//   - deleting by loop key: delete(m2, k)
+//   - commutative scalar accumulation: integer += / ++ / -- / |= / &= / ^=,
+//     bool x = x || e / x = x && e, x = min(x, e) / x = max(x, e)
+//     (float += is NOT safe: float addition is order-dependent)
+//   - collecting into a slice that a sort.* / slices.* call sorts later
+//     in the same function
+//   - constant-only early returns (existence checks) and continue
+//
+// Any non-builtin call in the loop body voids safety: a call can draw
+// from a shared stream or otherwise sequence hidden state in map
+// order, which is precisely what the determinism sweeps catch too
+// late.
+var MapIterAnalyzer = &Analyzer{
+	Name:    "mapiter",
+	Doc:     "map iteration with an order-sensitive body in a determinism-domain package",
+	Domains: []Domain{DomainDeterminism},
+	Run:     runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					mapIterStmts(pass, decl.Body.List)
+				}
+			case *ast.GenDecl:
+				// Function literals in package-level initializers.
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						mapIterStmts(pass, fl.Body.List)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// mapIterStmts walks a statement list, analyzing each map-range loop
+// with the statements that follow it (needed for the append-then-sort
+// idiom) and recursing into nested statement lists.
+func mapIterStmts(pass *Pass, list []ast.Stmt) {
+	for i, s := range list {
+		if rs, ok := s.(*ast.RangeStmt); ok && rangesOverMap(pass, rs) {
+			checkMapRange(pass, rs, list[i+1:])
+		}
+		for _, nested := range nestedStmtLists(s) {
+			mapIterStmts(pass, nested)
+		}
+	}
+}
+
+// nestedStmtLists returns the statement lists nested directly inside s.
+func nestedStmtLists(s ast.Stmt) [][]ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.TypeSwitchStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SelectStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.CaseClause:
+		return [][]ast.Stmt{s.Body}
+	case *ast.CommClause:
+		return [][]ast.Stmt{s.Body}
+	case *ast.LabeledStmt:
+		return [][]ast.Stmt{{s.Stmt}}
+	case *ast.ExprStmt:
+		// Function literals used as arguments run their own bodies.
+		var out [][]ast.Stmt
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				out = append(out, fl.Body.List)
+				return false
+			}
+			return true
+		})
+		return out
+	case *ast.AssignStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt, *ast.DeclStmt:
+		var out [][]ast.Stmt
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				out = append(out, fl.Body.List)
+				return false
+			}
+			return true
+		})
+		return out
+	}
+	return nil
+}
+
+// rangesOverMap reports whether rs iterates in map order: directly over
+// a map, or over the maps.Keys / maps.Values / maps.All iterators
+// (which forward the same randomized order).
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	if tv, ok := pass.Info.Types[rs.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	if call, ok := ast.Unparen(rs.X).(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "maps" {
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mapIterCtx is the state threaded through the body classification.
+type mapIterCtx struct {
+	pass *Pass
+	// key is the loop's key variable object (nil for `for range m`).
+	key types.Object
+	// appended maps slice targets (rendered with types.ExprString, so
+	// fields work as well as locals) appended to inside the loop to
+	// the append position, pending an after-loop sort.
+	appended map[string]token.Pos
+	// offender is the first order-sensitive statement found.
+	offender ast.Node
+	// why describes the offense.
+	why string
+}
+
+func (c *mapIterCtx) fail(n ast.Node, why string) bool {
+	if c.offender == nil {
+		c.offender = n
+		c.why = why
+	}
+	return false
+}
+
+// checkMapRange classifies one map-range loop and reports it when the
+// body is order-sensitive or accumulated slices are never sorted.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ctx := &mapIterCtx{pass: pass, appended: make(map[string]token.Pos)}
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		ctx.key = pass.Info.Defs[id]
+	}
+	// The value variable existing is fine; what matters is what the
+	// body does with it.
+	safe := safeStmtList(ctx, rs.Body.List)
+	if !safe {
+		pos := "loop body"
+		if ctx.offender != nil {
+			pos = pass.Fset.Position(ctx.offender.Pos()).String()
+		}
+		pass.Reportf(rs.Pos(),
+			"map iteration order reaches %s (%s); sort the keys first or annotate //lint:allow mapiter <reason>",
+			pos, ctx.why)
+		return
+	}
+	targets := make([]string, 0, len(ctx.appended))
+	for target := range ctx.appended {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	for _, target := range targets {
+		if !sortedAfter(pass, target, rest) {
+			pass.Reportf(rs.Pos(),
+				"slice %s accumulates map-ordered entries (append at %s) but is never sorted afterwards; sort it or annotate //lint:allow mapiter <reason>",
+				target, pass.Fset.Position(ctx.appended[target]))
+			return
+		}
+	}
+}
+
+func safeStmtList(ctx *mapIterCtx, list []ast.Stmt) bool {
+	for _, s := range list {
+		if !safeStmt(ctx, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// safeStmt reports whether one statement is provably order-insensitive
+// under the recognized shapes.
+func safeStmt(ctx *mapIterCtx, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.AssignStmt:
+		return safeAssign(ctx, s)
+	case *ast.IncDecStmt:
+		if isIntegral(ctx.pass, s.X) {
+			return true
+		}
+		return ctx.fail(s, "non-integer ++/-- accumulates in map order")
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isDeleteByKey(ctx, call) {
+			return true
+		}
+		return ctx.fail(s, "call with possible order-dependent effects")
+	case *ast.IfStmt:
+		if isExtremumIf(ctx, s) {
+			return true
+		}
+		if s.Init != nil && !safeStmt(ctx, s.Init) {
+			return false
+		}
+		if !callFree(ctx, s.Cond) {
+			return ctx.fail(s.Cond, "condition calls a function whose state may sequence in map order")
+		}
+		if !safeStmtList(ctx, s.Body.List) {
+			return false
+		}
+		if s.Else != nil && !safeStmt(ctx, s.Else) {
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		return safeStmtList(ctx, s.List)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		return ctx.fail(s, "early loop exit depends on iteration order")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if tv, ok := ctx.pass.Info.Types[r]; !ok || tv.Value == nil {
+				return ctx.fail(s, "non-constant return value depends on which iteration returns")
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return ctx.fail(s, "unrecognized declaration in loop body")
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					if !callFree(ctx, v) {
+						return ctx.fail(v, "initializer calls a function whose state may sequence in map order")
+					}
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		if !callFree(ctx, s.X) {
+			return ctx.fail(s.X, "nested range expression calls a function")
+		}
+		return safeStmtList(ctx, s.Body.List)
+	case *ast.ForStmt:
+		if s.Init != nil && !safeStmt(ctx, s.Init) {
+			return false
+		}
+		if s.Cond != nil && !callFree(ctx, s.Cond) {
+			return ctx.fail(s.Cond, "nested loop condition calls a function")
+		}
+		if s.Post != nil && !safeStmt(ctx, s.Post) {
+			return false
+		}
+		return safeStmtList(ctx, s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !safeStmt(ctx, s.Init) {
+			return false
+		}
+		if s.Tag != nil && !callFree(ctx, s.Tag) {
+			return ctx.fail(s.Tag, "switch tag calls a function")
+		}
+		return safeStmtList(ctx, s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			if !callFree(ctx, e) {
+				return ctx.fail(e, "case expression calls a function")
+			}
+		}
+		return safeStmtList(ctx, s.Body)
+	}
+	return ctx.fail(s, "statement kind is not provably order-insensitive")
+}
+
+// safeAssign classifies assignment statements.
+func safeAssign(ctx *mapIterCtx, s *ast.AssignStmt) bool {
+	// Multi-assign is only safe when every piece independently is; keep
+	// to the single-LHS shapes plus blank discards.
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return ctx.fail(s, "multi-assignment in loop body")
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		if callFree(ctx, rhs) {
+			return true
+		}
+		return ctx.fail(rhs, "discarded call may sequence hidden state in map order")
+	}
+
+	switch s.Tok {
+	case token.DEFINE:
+		// A fresh per-iteration local has no cross-iteration effect as
+		// long as computing it has none.
+		if callFree(ctx, rhs) {
+			return true
+		}
+		return ctx.fail(rhs, "local initializer calls a function whose state may sequence in map order")
+	case token.ASSIGN:
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			return safeMapWrite(ctx, s, ix, rhs)
+		}
+		if safeCommutativeAssign(ctx, lhs, rhs) {
+			return true
+		}
+		return ctx.fail(s, "plain reassignment keeps only the last map-ordered value")
+	case token.ADD_ASSIGN:
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			return safeMapWrite(ctx, s, ix, rhs)
+		}
+		if isIntegral(ctx.pass, lhs) && callFree(ctx, rhs) {
+			return true
+		}
+		return ctx.fail(s, "non-integer += accumulation is order-dependent (float addition does not commute)")
+	case token.SUB_ASSIGN:
+		if isIntegral(ctx.pass, lhs) && callFree(ctx, rhs) {
+			return true
+		}
+		return ctx.fail(s, "non-integer -= accumulation is order-dependent")
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if isIntegral(ctx.pass, lhs) && callFree(ctx, rhs) {
+			return true
+		}
+		return ctx.fail(s, "bitwise accumulation on a non-integer type")
+	}
+	return ctx.fail(s, "assignment form is not provably order-insensitive")
+}
+
+// safeMapWrite accepts dst[k...] = v / dst[k...] op= v when the index
+// mentions the loop key (distinct per iteration, so no overwrite race
+// with iteration order) and the value computation is call-free.
+func safeMapWrite(ctx *mapIterCtx, s ast.Stmt, ix *ast.IndexExpr, rhs ast.Expr) bool {
+	tv, ok := ctx.pass.Info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return ctx.fail(s, "unresolvable indexed assignment")
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return ctx.fail(s, "indexed write outside a map (slot may collide across iterations)")
+	}
+	// Set building: writing a constant (seen[v] = true) is idempotent,
+	// so colliding slots still converge regardless of visit order.
+	if constantValue(ctx.pass, rhs) && callFree(ctx, ix.Index) {
+		return true
+	}
+	if ctx.key == nil || !mentionsObj(ctx.pass, ix.Index, ctx.key) {
+		return ctx.fail(s, "map write whose key does not include the loop key may collide in map order")
+	}
+	// The key use must be injective: a call or slice of the key can
+	// map two distinct keys onto one destination slot.
+	if !callFree(ctx, ix.Index) || containsSliceExpr(ix.Index) {
+		return ctx.fail(ix.Index, "map-write key transforms the loop key; two keys may collide in map order")
+	}
+	if !callFree(ctx, rhs) {
+		return ctx.fail(rhs, "map-write value calls a function whose state may sequence in map order")
+	}
+	return true
+}
+
+// isExtremumIf recognizes min/max tracking written as a guard:
+//
+//	if e < t { t = e }   (or >, <=, >=, operands either way around)
+//
+// The resulting extremum VALUE is order-independent (ties produce the
+// same value), so the shape is safe when both expressions are
+// call-free. Works for plain variables and keyed slots alike — a
+// max-merge into m[k] is commutative even when keys collide.
+func isExtremumIf(ctx *mapIterCtx, s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if !callFree(ctx, cond.X) || !callFree(ctx, cond.Y) {
+		return false
+	}
+	lhs, rhs := exprString(as.Lhs[0]), exprString(as.Rhs[0])
+	x, y := exprString(cond.X), exprString(cond.Y)
+	return (lhs == x && rhs == y) || (lhs == y && rhs == x)
+}
+
+// safeCommutativeAssign accepts x = x || e, x = x && e,
+// x = min/max(x, e) and slice-append accumulation t = append(t, ...),
+// where x/t may be a variable or a field (compared structurally via
+// types.ExprString).
+func safeCommutativeAssign(ctx *mapIterCtx, lhs, rhs ast.Expr) bool {
+	lhs = ast.Unparen(lhs)
+	switch lhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return false
+	}
+	target := exprString(lhs)
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.BinaryExpr:
+		if rhs.Op != token.LOR && rhs.Op != token.LAND {
+			return false
+		}
+		return exprString(ast.Unparen(rhs.X)) == target && callFree(ctx, rhs.Y)
+	case *ast.CallExpr:
+		fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch fn.Name {
+		case "min", "max":
+			if !isBuiltin(ctx.pass, fn) || len(rhs.Args) < 2 {
+				return false
+			}
+			selfArg := false
+			for _, a := range rhs.Args {
+				if exprString(ast.Unparen(a)) == target {
+					selfArg = true
+				} else if !callFree(ctx, a) {
+					return false
+				}
+			}
+			return selfArg
+		case "append":
+			if !isBuiltin(ctx.pass, fn) || len(rhs.Args) == 0 {
+				return false
+			}
+			if exprString(ast.Unparen(rhs.Args[0])) != target {
+				return false
+			}
+			for _, a := range rhs.Args[1:] {
+				if !callFree(ctx, a) {
+					return false
+				}
+			}
+			if _, seen := ctx.appended[target]; !seen {
+				ctx.appended[target] = rhs.Pos()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// isDeleteByKey accepts delete(m, k...) where the key expression
+// mentions the loop key.
+func isDeleteByKey(ctx *mapIterCtx, call *ast.CallExpr) bool {
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "delete" || !isBuiltin(ctx.pass, fn) || len(call.Args) != 2 {
+		return false
+	}
+	return ctx.key != nil && mentionsObj(ctx.pass, call.Args[1], ctx.key)
+}
+
+// callFree reports whether e contains no function or method calls
+// other than type conversions and the pure builtins len/cap/min/max.
+// A call inside a map-range body can draw from a stateful stream (the
+// PR 4 RNG bug) or otherwise sequence hidden state in map order, so
+// order-insensitivity is only provable without them.
+func callFree(ctx *mapIterCtx, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	safe := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return safe
+		}
+		if tv, ok := ctx.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return safe // type conversion
+		}
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(ctx.pass, fn) {
+			switch fn.Name {
+			case "len", "cap", "min", "max":
+				return safe
+			}
+		}
+		safe = false
+		return false
+	})
+	return safe
+}
+
+// sortedAfter reports whether a sort.* or slices.* call in the
+// statements following the loop sorts the accumulated slice (matched
+// structurally: the call's first argument contains the target
+// expression, so sort.Sort(byName(keys)) counts too).
+func sortedAfter(pass *Pass, target string, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			if len(call.Args) > 0 && strings.Contains(exprString(call.Args[0]), target) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders an expression structurally for comparison.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// constantValue reports whether e is a compile-time constant or the
+// empty composite literal (struct{}{}).
+func constantValue(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		return len(cl.Elts) == 0
+	}
+	return constValue(pass, e) != nil
+}
+
+// containsSliceExpr reports whether e contains a slicing expression.
+func containsSliceExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.SliceExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObj reports whether e references obj.
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isIntegral reports whether e has an integer type.
+func isIntegral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether id resolves to a universe builtin.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// constValue returns the constant value of e, if any.
+func constValue(pass *Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}

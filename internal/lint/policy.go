@@ -1,0 +1,94 @@
+package lint
+
+// Domain classifies how strict the determinism contract is for a
+// package. The mapping from import path to domain is the single
+// declarative table below — analyzers never hard-code package names.
+type Domain string
+
+const (
+	// DomainDeterminism covers every package whose output can reach a
+	// rendered report, mined symptom, or emitted metric sample: the
+	// full rule set applies. Wall clocks and global RNG are forbidden
+	// (simtime is the only time base), map iteration must be
+	// order-insensitive, and evidence windows must come from
+	// metrics.ReadWindow.
+	DomainDeterminism Domain = "determinism"
+	// DomainService covers the serving/observability layers (worker
+	// pool, HTTP API, telemetry) where wall-clock timing is the point.
+	// Determinism-only rules (mapiter, walltime) are off; the
+	// evidence-window, metric-name, and error-discard contracts still
+	// apply.
+	DomainService Domain = "service"
+	// DomainTool covers binaries, examples, and the linter itself:
+	// same rule set as DomainService today, kept distinct so future
+	// rules can diverge (and so the policy table documents intent).
+	DomainTool Domain = "tool"
+)
+
+// policyRule is one row of the policy table: a package (or subtree,
+// matching path and path/...) mapped to a domain, with optional
+// per-package analyzer exemptions for the packages that *implement*
+// a contract and therefore cannot be its clients.
+type policyRule struct {
+	// Path matches the import path exactly, or any package under it.
+	Path string
+	// Domain is the policy domain for matching packages.
+	Domain Domain
+	// Exempt lists analyzer names that do not run on this package.
+	Exempt []string
+}
+
+// policyTable maps the repo to domains. Longest matching Path wins;
+// anything not listed falls back to DomainDeterminism (fail closed:
+// new packages inherit the strict contract until a row says
+// otherwise).
+var policyTable = []policyRule{
+	// Contract implementors: simtime *is* the deterministic clock/RNG
+	// (it wraps math/rand behind seeded streams), metrics *is* the home
+	// of the ReadWindow padding arithmetic.
+	{Path: "diads/internal/simtime", Domain: DomainDeterminism, Exempt: []string{"walltime"}},
+	{Path: "diads/internal/metrics", Domain: DomainDeterminism, Exempt: []string{"readwindow"}},
+
+	// Serving and observability layers: wall-clock timing is a feature
+	// (queue waits, span durations, uptime), not a determinism leak —
+	// the telemetry on/off parity regression pins that nothing here
+	// feeds a report.
+	{Path: "diads/internal/telemetry", Domain: DomainService},
+	{Path: "diads/internal/service", Domain: DomainService},
+	{Path: "diads/internal/api", Domain: DomainService},
+	{Path: "diads/internal/pipeline", Domain: DomainService},
+	{Path: "diads/internal/selfheal", Domain: DomainService},
+	{Path: "diads/internal/cache", Domain: DomainService},
+
+	// Binaries, demos, and the linter itself.
+	{Path: "diads/cmd", Domain: DomainTool},
+	{Path: "diads/examples", Domain: DomainTool},
+	{Path: "diads/internal/lint", Domain: DomainTool},
+}
+
+// PolicyFor resolves an import path against the policy table,
+// returning the domain and any per-package analyzer exemptions.
+func PolicyFor(importPath string) (Domain, []string) {
+	best := -1
+	domain := DomainDeterminism
+	var exempt []string
+	for _, r := range policyTable {
+		if !pathMatches(r.Path, importPath) || len(r.Path) <= best {
+			continue
+		}
+		best = len(r.Path)
+		domain = r.Domain
+		exempt = r.Exempt
+	}
+	return domain, exempt
+}
+
+// pathMatches reports whether importPath is rule or lies under rule/.
+func pathMatches(rule, importPath string) bool {
+	if importPath == rule {
+		return true
+	}
+	return len(importPath) > len(rule) &&
+		importPath[:len(rule)] == rule &&
+		importPath[len(rule)] == '/'
+}

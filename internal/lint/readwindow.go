@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ReadWindowAnalyzer flags ad-hoc evidence-window padding arithmetic
+// that bypasses metrics.ReadWindow. PR 4 existed because six drifted
+// copies of "pad the activity window by one monitoring interval"
+// disagreed with the emission watermark; ReadWindow is now the single
+// definition, and this rule keeps it that way by flagging:
+//
+//   - any +, -, or * arithmetic involving metrics.DefaultMonitorInterval
+//     outside its home package (a padded bound built by hand),
+//   - simtime.Time.Add with a ±one-monitoring-interval constant
+//     argument (the historic drift shape, written without naming the
+//     constant), and
+//   - t ± <one monitoring interval> binary arithmetic on simtime.Time.
+//
+// Code that legitimately derives a non-evidence span from the
+// monitoring interval (an emission horizon, a sampler step) annotates
+// the site with //lint:allow readwindow <reason>.
+var ReadWindowAnalyzer = &Analyzer{
+	Name:    "readwindow",
+	Doc:     "evidence-window padding arithmetic outside metrics.ReadWindow",
+	Domains: []Domain{DomainDeterminism, DomainService, DomainTool},
+	Run:     runReadWindow,
+}
+
+// monitorIntervalSeconds mirrors metrics.DefaultMonitorInterval (5
+// simulated minutes). Kept as a literal so the linter does not import
+// the package it polices.
+const monitorIntervalSeconds = 300
+
+func runReadWindow(pass *Pass) {
+	metricsPath := pass.Config.modulePath() + "/internal/metrics"
+	simtimePath := pass.Config.modulePath() + "/internal/simtime"
+
+	isDMI := func(e ast.Expr) bool {
+		var id *ast.Ident
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		return obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == metricsPath && obj.Name() == "DefaultMonitorInterval"
+	}
+	mentionsDMI := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if expr, ok := n.(ast.Expr); ok && isDMI(expr) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	isSimTime := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == simtimePath && obj.Name() == "Time"
+	}
+	isIntervalConst := func(e ast.Expr) bool {
+		v := constValue(pass, e)
+		if v == nil {
+			return false
+		}
+		f, ok := constant.Float64Val(constant.ToFloat(v))
+		if !ok {
+			return false
+		}
+		return f == monitorIntervalSeconds || f == -monitorIntervalSeconds
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL:
+				default:
+					return true
+				}
+				if isDMI(n.X) || isDMI(n.Y) {
+					pass.Reportf(n.Pos(),
+						"arithmetic on metrics.DefaultMonitorInterval outside internal/metrics: evidence windows come from metrics.ReadWindow")
+					return true
+				}
+				if n.Op != token.MUL && (isSimTime(n.X) && isIntervalConst(n.Y) ||
+					isSimTime(n.Y) && isIntervalConst(n.X)) {
+					pass.Reportf(n.Pos(),
+						"hand-written one-monitoring-interval padding on a simtime.Time: use metrics.ReadWindow")
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" || len(n.Args) != 1 {
+					return true
+				}
+				if !isSimTime(sel.X) {
+					return true
+				}
+				if mentionsDMI(n.Args[0]) || isIntervalConst(n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"simtime.Time.Add with one-monitoring-interval padding: use metrics.ReadWindow")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,15 @@
+// Package directivefix exercises malformed //lint:allow comments,
+// which are findings in their own right and cannot be suppressed. The
+// driver test asserts one "directive" finding per comment below (lines
+// 8, 11, and 14) — no inline markers, since the marker would become
+// part of the directive text.
+package directivefix
+
+//lint:allow
+func a() {}
+
+//lint:allow nosuchrule because reasons
+func b() {}
+
+//lint:allow mapiter
+func c() {}

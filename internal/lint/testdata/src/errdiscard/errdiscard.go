@@ -1,0 +1,76 @@
+// Package errdiscardfix is the errdiscard analyzer fixture. Its
+// helpers are module functions (the fixture is loaded under the diads
+// module path), so their errors are must-handle; stdlib errors are out
+// of scope.
+package errdiscardfix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// store mimics symdb: Add returns an error that PR 5 found being
+// silently swallowed.
+type store struct{ entries []string }
+
+func (s *store) Add(entry string) error {
+	if entry == "" {
+		return fmt.Errorf("empty entry")
+	}
+	s.entries = append(s.entries, entry)
+	return nil
+}
+
+func (s *store) Lookup(k string) (string, error) {
+	for _, e := range s.entries {
+		if e == k {
+			return e, nil
+		}
+	}
+	return "", fmt.Errorf("not found")
+}
+
+func (s *store) Close() error { return nil }
+
+// bareCall drops the Add error on the floor.
+func bareCall(s *store, e string) {
+	s.Add(e) // want errdiscard
+}
+
+// blankAssign discards it explicitly.
+func blankAssign(s *store, e string) {
+	_ = s.Add(e) // want errdiscard
+}
+
+// tupleBlank keeps the value but drops the error.
+func tupleBlank(s *store, k string) string {
+	v, _ := s.Lookup(k) // want errdiscard
+	return v
+}
+
+// deferred discards on the way out.
+func deferred(s *store) {
+	defer s.Close() // want errdiscard
+}
+
+// handled is the sanctioned shape.
+func handled(s *store, e string) error {
+	if err := s.Add(e); err != nil {
+		return fmt.Errorf("adding %q: %w", e, err)
+	}
+	return nil
+}
+
+// stdlibDiscard is out of scope: fmt.Fprintf to a strings.Builder
+// cannot usefully fail and fmt is not a module package.
+func stdlibDiscard() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	return b.String()
+}
+
+// annotated records why the discard is intentional.
+func annotated(s *store) {
+	//lint:allow errdiscard close on the shutdown path; the store is already flushed
+	s.Close()
+}

@@ -1,0 +1,160 @@
+// Package mapiterfix is the mapiter analyzer fixture. Bad cases carry
+// inline markers; everything else must stay finding-free.
+package mapiterfix
+
+import (
+	"maps"
+	"sort"
+
+	"diads/internal/simtime"
+)
+
+// prng mimics a stateful sampler stream: each draw advances hidden
+// state, so the sequence of values depends on call order.
+type prng struct{ r *simtime.Rand }
+
+func (p *prng) draw() float64 { return p.r.Float64() }
+
+// emitNetworkMetrics reconstructs the PR 4 EmitNetworkMetrics bug
+// shape: ranging over a map and drawing measurement noise per entry
+// writes a map-order-dependent noise stream into the samples.
+func emitNetworkMetrics(links map[string]float64, p *prng) map[string]float64 {
+	out := make(map[string]float64, len(links))
+	for name, base := range links { // want mapiter
+		out[name] = base * (1 + p.draw())
+	}
+	return out
+}
+
+// sumFloats accumulates floats in map order: float addition does not
+// commute, so the total differs between runs.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want mapiter
+		total += v
+	}
+	return total
+}
+
+// lastWins keeps whichever entry the runtime visits last.
+func lastWins(m map[string]string) string {
+	var pick string
+	for _, v := range m { // want mapiter
+		pick = v
+	}
+	return pick
+}
+
+// unsortedKeys collects keys but never sorts them.
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want mapiter
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// earlyExit returns a map-order-dependent element.
+func earlyExit(m map[string]int) string {
+	for k, v := range m { // want mapiter
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// collidingWrite rekeys entries through a lossy function: two source
+// keys can land on one destination slot, and the survivor depends on
+// iteration order.
+func collidingWrite(m map[string]int, group func(string) string) map[string]int {
+	out := make(map[string]int)
+	for k, v := range m { // want mapiter
+		out[group(k)] = v
+	}
+	return out
+}
+
+// iterKeys forwards map order through the maps.Keys iterator.
+func iterKeys(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) { // want mapiter
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the canonical escape: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rebuild writes into a destination map keyed by the loop key:
+// distinct slots, order-free.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// countMatching uses only commutative integer accumulation and a
+// constant-return existence check.
+func countMatching(m map[string]int, want int) int {
+	n := 0
+	for _, v := range m {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}
+
+// contains returns only constants, so which iteration returns is
+// invisible.
+func contains(m map[string]bool, k string) bool {
+	for key := range m {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// maxValue tracks an extremum with the commutative max builtin.
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+// pruneZero deletes by loop key, which Go's range spec permits and
+// which is order-insensitive.
+func pruneZero(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// suppressed shows the escape hatch: the effect is order-sensitive but
+// intentionally so (error aggregation where any representative works),
+// and the reason is recorded.
+func suppressed(m map[string]error) error {
+	//lint:allow mapiter any representative error works; callers treat them as equivalent
+	for _, err := range m {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package readwindowfix is the readwindow analyzer fixture.
+package readwindowfix
+
+import (
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+)
+
+// handPadded rebuilds the PR 4 drift: padding an activity window by
+// hand instead of calling metrics.ReadWindow.
+func handPadded(iv simtime.Interval) simtime.Interval {
+	return simtime.NewInterval(
+		iv.Start.Add(-metrics.DefaultMonitorInterval), // want readwindow
+		iv.End.Add(metrics.DefaultMonitorInterval),    // want readwindow
+	)
+}
+
+// literalPadded writes the same drift without naming the constant —
+// the exact shape the six deduplicated copies had.
+func literalPadded(start, end simtime.Time) (simtime.Time, simtime.Time) {
+	return start.Add(-5 * simtime.Minute), end.Add(5 * simtime.Minute) // want readwindow
+}
+
+// binaryPadded pads with raw Time arithmetic.
+func binaryPadded(t simtime.Time) simtime.Time {
+	return t - 300 // want readwindow
+}
+
+// derivedMargin does arithmetic on the interval constant outside its
+// home package.
+var derivedMargin = 2 * metrics.DefaultMonitorInterval // want readwindow
+
+// throughContract is the sanctioned path.
+func throughContract(iv simtime.Interval) simtime.Interval {
+	return metrics.ReadWindow(iv)
+}
+
+// plainUse reads the constant without arithmetic (e.g. configuring a
+// sampler interval), which is fine.
+var plainUse = metrics.DefaultMonitorInterval
+
+// unrelatedArithmetic on simulated time with other magnitudes is fine.
+func unrelatedArithmetic(t simtime.Time) simtime.Time {
+	return t.Add(60 * simtime.Second)
+}

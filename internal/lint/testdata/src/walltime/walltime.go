@@ -1,0 +1,40 @@
+// Package walltimefix is the walltime analyzer fixture.
+package walltimefix
+
+import (
+	"math/rand"
+	"time"
+
+	"diads/internal/simtime"
+)
+
+// stampNow reads the wall clock where only simulated time may exist.
+func stampNow() float64 {
+	return float64(time.Now().UnixNano()) // want walltime
+}
+
+// elapsed measures wall time.
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want walltime
+}
+
+// jitter draws from the global math/rand stream.
+func jitter() float64 {
+	return rand.Float64() // want walltime
+}
+
+// localRNG is just as bad: even seeded, it is not a per-series simtime
+// stream, so chunked emission re-orders the draws.
+func localRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want walltime
+}
+
+// simulated is the sanctioned path: simtime's clock and seeded streams.
+func simulated(r *simtime.Rand, t simtime.Time, d simtime.Duration) (float64, simtime.Time) {
+	return r.Float64(), t.Add(d)
+}
+
+// durations only name units; they never read a clock.
+func durations() time.Duration {
+	return 5 * time.Minute
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTimeAnalyzer forbids wall clocks and the global math/rand
+// streams in determinism-domain packages. Inside the determinism
+// domain the only time base is simtime.Time and the only randomness is
+// a seeded simtime.Rand stream: a time.Now() or rand.Intn() there
+// perturbs evidence between runs, which the byte-parity sweeps catch
+// only after the fact. Telemetry, service, and API timing live in
+// DomainService packages where this rule does not run; a
+// determinism-domain package that hosts a telemetry-only timing site
+// annotates it with //lint:allow walltime <reason>.
+var WallTimeAnalyzer = &Analyzer{
+	Name:    "walltime",
+	Doc:     "wall-clock or global RNG use in a determinism-domain package",
+	Domains: []Domain{DomainDeterminism},
+	Run:     runWallTime,
+}
+
+// wallTimeFuncs are the package time functions that read the wall
+// clock (or schedule against it).
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true, "Sleep": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallTimeFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in a determinism-domain package: simulated time comes from simtime (or move the timing to a service-domain package)",
+						obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Flag functions and variables (the draws and the
+				// global stream); a type in a signature cannot draw.
+				switch obj.(type) {
+				case *types.Func, *types.Var:
+					pass.Reportf(sel.Pos(),
+						"%s.%s in a determinism-domain package: randomness comes from seeded simtime.Rand streams",
+						obj.Pkg().Path(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

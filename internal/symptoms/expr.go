@@ -2,6 +2,7 @@ package symptoms
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -87,13 +88,26 @@ func joinExprs(es []Expr) string {
 }
 
 // substitute replaces $-prefixed template variables in a pattern.
+// Variables apply longest-first so a binding for $V cannot mangle an
+// occurrence of $VOL, and ties break lexicographically so the result
+// never depends on map iteration order.
 func substitute(pattern string, bind map[string]string) string {
 	if !strings.Contains(pattern, "$") {
 		return pattern
 	}
+	keys := make([]string, 0, len(bind))
+	for k := range bind {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) > len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
 	out := pattern
-	for k, v := range bind {
-		out = strings.ReplaceAll(out, k, v)
+	for _, k := range keys {
+		out = strings.ReplaceAll(out, k, bind[k])
 	}
 	return out
 }

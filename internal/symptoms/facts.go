@@ -75,6 +75,7 @@ func (fb *FactBase) Match(pattern string) []Fact {
 		return nil
 	}
 	var out []Fact
+	//lint:allow mapiter MatchPattern is a pure string matcher and the result is sorted below
 	for name, f := range fb.facts {
 		if MatchPattern(pattern, name) {
 			out = append(out, f)
@@ -93,6 +94,7 @@ func (fb *FactBase) MaxScore(pattern string) float64 {
 		return fb.facts[pattern].Score
 	}
 	var max float64
+	//lint:allow mapiter MatchPattern is a pure string matcher and max is commutative
 	for name, f := range fb.facts {
 		if f.Score > max && MatchPattern(pattern, name) {
 			max = f.Score
@@ -106,6 +108,7 @@ func (fb *FactBase) Exists(pattern string) bool {
 	if literalPattern(pattern) {
 		return fb.facts[pattern].Score > 0
 	}
+	//lint:allow mapiter MatchPattern is a pure string matcher and the constant result is order-free
 	for name, f := range fb.facts {
 		if f.Score > 0 && MatchPattern(pattern, name) {
 			return true
@@ -122,6 +125,7 @@ func (fb *FactBase) EarliestT(pattern string) (simtime.Time, bool) {
 	}
 	var best simtime.Time
 	found := false
+	//lint:allow mapiter MatchPattern is a pure string matcher and min-over-entries is commutative
 	for name, f := range fb.facts {
 		if !f.HasT || !MatchPattern(pattern, name) {
 			continue

@@ -20,6 +20,8 @@ const cpuPerRun = 0.25
 // chunk's watermark is the horizon end, and an event for the very last
 // run (read window ending rec.Stop + one interval) must still release
 // from the gate — drivers have no separate end-of-stream flush.
+//
+//lint:allow readwindow emission-horizon margin sized to cover the last read window, not a read window itself
 const horizonMargin = 2 * metrics.DefaultMonitorInterval
 
 // timelineEvent is one chronological step of the simulation.
