@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"diads"
 	"diads/internal/apg"
@@ -82,6 +85,32 @@ func BenchmarkFleet_Throughput(b *testing.B) {
 		// timing so every (inst, shards) point starts from the same
 		// allocator state instead of paying its predecessor's cleanup.
 		runtime.GC()
+		// Track the live-heap high-water mark while the fleets run: the
+		// number the retention layer exists to bound. A sampler records
+		// HeapAlloc maxima (10ms resolution is plenty — fleet heap grows
+		// over seconds); the peak lands in BENCH_fleet.json as
+		// peak-heap-bytes via benchjson's extra-metric passthrough.
+		var peak atomic.Uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak.Load() {
+						peak.Store(ms.HeapAlloc)
+					}
+				}
+			}
+		}()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			rep, _, err := experiments.RunFleetSpec(spec)
@@ -92,6 +121,15 @@ func BenchmarkFleet_Throughput(b *testing.B) {
 				b.Fatalf("fleet idle or failing: %+v", rep.Stats)
 			}
 		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak.Load() {
+			peak.Store(ms.HeapAlloc)
+		}
+		b.ReportMetric(float64(peak.Load()), "peak-heap-bytes")
 	}
 	for _, inst := range []int{2, 4, 8} {
 		for _, workers := range []int{1, 4} {
@@ -119,6 +157,12 @@ func BenchmarkFleet_Throughput(b *testing.B) {
 					// Cap concurrent simulations to bound memory; the
 					// barrier protocol makes the cap invisible in results.
 					MaxStreams: 16,
+					// The scale axis runs with the retention layer on —
+					// peak-heap-bytes here is the bounded-memory
+					// measurement; the parity sweep guarantees the knobs
+					// cannot change the report.
+					Retention:   true,
+					ResidentCap: 16,
 				})
 			})
 		}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diads/internal/symptoms"
+)
+
+// buildDaemon compiles diadsd into a temp dir once per test run. The
+// crash test needs a real process it can SIGKILL — in-process testing
+// cannot model "the daemon died between truncate and write".
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "diadsd")
+	cmd := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building diadsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// parseLearned reads and parses the persisted DSL, failing the test on
+// a corrupt file — the exact artifact a non-atomic flush leaves behind.
+// It returns the set of entry kinds.
+func parseLearned(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading learned DB: %v", err)
+	}
+	db, err := symptoms.Parse(string(data))
+	if err != nil {
+		t.Fatalf("learned DB corrupt: %v\n%s", err, data)
+	}
+	kinds := make(map[string]bool)
+	for _, e := range db.Entries() {
+		kinds[e.Kind] = true
+	}
+	return kinds
+}
+
+// TestKillAndResumeLearnedDB is the crash-consistency test for -learned
+// persistence: a completed fleet run installs mined entries and persists
+// them; a second run of the same command is SIGKILLed mid-run; a third
+// run must still load every previously installed entry. The kill may
+// land at any point — including inside the flush — so this pins both
+// properties the persistence layer claims: the file is only replaced
+// atomically, and a restart resumes from whatever complete state the
+// last successful flush left.
+func TestKillAndResumeLearnedDB(t *testing.T) {
+	bin := buildDaemon(t)
+	learned := filepath.Join(t.TempDir(), "learned.dsl")
+	args := []string{"-instances", "4", "-degraded", "3", "-runs", "12", "-seed", "11", "-learned", learned}
+
+	// Run 1: to completion. The canonical learning scenario must install
+	// at least one mined entry, or the survival assertions are vacuous.
+	if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+		t.Fatalf("run 1: %v\n%s", err, out)
+	}
+	installed := parseLearned(t, learned)
+	if len(installed) == 0 {
+		t.Fatal("run 1 installed no mined entries; scenario lost its teeth")
+	}
+
+	// Run 2: SIGKILL mid-run. A bigger fleet keeps it busy long enough
+	// that the kill is unambiguously mid-run; stderr is watched for the
+	// startup line so the kill cannot land before the flag parsing that
+	// would make the run a no-op.
+	big := []string{"-instances", "8", "-degraded", "6", "-runs", "24", "-seed", "11", "-learned", learned}
+	run2 := exec.Command(bin, big...)
+	stderr, err := run2.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run2.Start(); err != nil {
+		t.Fatalf("starting run 2: %v", err)
+	}
+	started := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "fleet starting") {
+				close(started)
+				break
+			}
+		}
+		// Drain so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run 2 never reported fleet starting")
+	}
+	time.Sleep(300 * time.Millisecond) // let it get properly mid-run
+	if err := run2.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = run2.Wait() // expected: killed
+
+	// The persisted DB must be intact and complete after the crash.
+	afterCrash := parseLearned(t, learned)
+	for kind := range installed {
+		if !afterCrash[kind] {
+			t.Errorf("entry %s lost to the crash", kind)
+		}
+	}
+
+	// Run 3: restart. The daemon must load the surviving entries and
+	// complete normally.
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run 3 after crash: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("loaded learned entries")) {
+		t.Errorf("run 3 did not report loading learned entries:\n%s", out)
+	}
+	final := parseLearned(t, learned)
+	for kind := range installed {
+		if !final[kind] {
+			t.Errorf("entry %s missing after resume", kind)
+		}
+	}
+}

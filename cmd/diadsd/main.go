@@ -90,6 +90,7 @@ func main() {
 	learned := flag.String("learned", "", "DSL file to load learned symptom entries from and persist installed ones to")
 	quiet := flag.Bool("quiet", false, "suppress per-event output")
 	listen := flag.String("listen", "", "serve the HTTP ingest/query/operator API on this address instead of simulating (e.g. 127.0.0.1:8080)")
+	idleBatches := flag.Int("idle-batches", 0, "evict a tenant instance idle for this many applied batches (0 disables; incidents survive, state rebuilds on its next batch)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /healthz, /traces, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	logJSON := flag.Bool("log-json", false, "emit structured events as JSON lines")
 	linger := flag.Bool("linger", false, "keep serving telemetry after the run until SIGINT/SIGTERM")
@@ -133,13 +134,19 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		if err := serve(*listen, *seed, *workers, *learned, self, logger); err != nil {
+		if err := serve(*listen, *seed, *workers, *idleBatches, *learned, self, logger); err != nil {
 			fmt.Fprintln(os.Stderr, "diadsd:", err)
 			os.Exit(1)
 		}
 		drainSelf(self, logger)
 		fmt.Println(telemetry.RenderSnapshot(telemetry.Default().Snapshot()))
 		return
+	}
+	if set["idle-batches"] {
+		// The idle horizon is a serving-surface lifecycle; simulated
+		// fleets bound residency with the shard cap instead.
+		fmt.Fprintln(os.Stderr, "diadsd: -idle-batches only applies with -listen")
+		os.Exit(2)
 	}
 	if *instances > 1 {
 		// The fleet runs to completion and prints one grouped report;
@@ -205,7 +212,7 @@ func main() {
 // serve runs the HTTP serving surface until SIGINT/SIGTERM, then drains
 // gracefully: ingest stops (503), queued batches apply, in-flight
 // diagnoses finish, learned entries flush, and the listener closes.
-func serve(addr string, seed int64, workers int, learnedPath string,
+func serve(addr string, seed int64, workers, idleBatches int, learnedPath string,
 	self *selfmon.SelfMonitor, logger *slog.Logger) error {
 	symdb := symptoms.Builtin()
 	learned := symptoms.NewDB()
@@ -223,9 +230,10 @@ func serve(addr string, seed int64, workers int, learnedPath string,
 		logger.Info("loaded learned entries", "count", len(learned.Entries()), "path", learnedPath)
 	}
 	node := api.New(api.Config{
-		Seed:    seed,
-		Service: service.Config{Workers: workers},
-		SymDB:   symdb,
+		Seed:        seed,
+		Service:     service.Config{Workers: workers},
+		SymDB:       symdb,
+		IdleBatches: idleBatches,
 	})
 	node.Service().Self = self
 	srv := telemetry.NewServer(addr, nil, nil)
@@ -357,7 +365,11 @@ func loadLearned(path string) (*symptoms.DB, error) {
 }
 
 // saveLearned persists the union of previously-learned entries and this
-// run's validated installs back to the DSL file.
+// run's validated installs back to the DSL file. The write is atomic —
+// full body to a temp file in the same directory, then rename — so a
+// crash (even SIGKILL) at any instant leaves either the old complete
+// file or the new complete file, never a truncated one: learned
+// knowledge must survive the daemon dying mid-flush.
 func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats, logger *slog.Logger) error {
 	added := 0
 	for _, ie := range st.Installed {
@@ -367,7 +379,11 @@ func saveLearned(path string, learned *symptoms.DB, st fleet.LearnStats, logger 
 		added++
 	}
 	body := "# symptom entries learned by diadsd — reloaded on the next run\n" + learned.Render()
-	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
 	logger.Info("persisted learned entries", "total", len(learned.Entries()), "new", added, "path", path)

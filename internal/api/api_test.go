@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -374,6 +375,73 @@ func TestShutdownUnderLoad(t *testing.T) {
 	}
 	// Idempotent.
 	node.Shutdown()
+}
+
+// TestIdleEvictionBoundsInstances pins the instance lifecycle's leak
+// fix: under tenant churn (every batch from a fresh tenant) the
+// resident-instance map stays bounded by the idle horizon instead of
+// accreting one environment per tenant forever, evictions are counted,
+// and an evicted tenant that returns is rebuilt transparently.
+func TestIdleEvictionBoundsInstances(t *testing.T) {
+	const (
+		idle    = 8
+		tenants = 40
+	)
+	node := New(Config{Seed: testSeed, IdleBatches: idle})
+	defer node.Shutdown()
+	hs := httptest.NewServer(node.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	evictedBefore := node.tel.evicted.Value()
+	post := func(tenant string) {
+		t.Helper()
+		batch := SampleBatch{Tenant: tenant, Instance: "db", Samples: []WireSample{
+			{Component: "c", Metric: "m", T: 1, V: 1},
+		}}
+		for {
+			resp, body := postJSON(t, client, hs.URL+"/v1/ingest/samples", batch)
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				return
+			case http.StatusTooManyRequests:
+				continue // intake momentarily full; the worker drains it
+			default:
+				t.Fatalf("samples for %s: %d %s", tenant, resp.StatusCode, body)
+			}
+		}
+	}
+	for i := 0; i < tenants; i++ {
+		post(fmt.Sprintf("tenant-%d", i))
+	}
+	if err := node.Quiesce(); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+
+	if got := node.InstanceCount(); got > idle {
+		t.Fatalf("resident instances after churn = %d, want <= %d (idle horizon)", got, idle)
+	}
+	wantEvicted := int64(tenants - idle)
+	if got := node.tel.evicted.Value() - evictedBefore; got < wantEvicted {
+		t.Errorf("evictions = %d, want >= %d", got, wantEvicted)
+	}
+
+	// A returning evicted tenant is rebuilt on next contact.
+	post("tenant-0")
+	if err := node.Quiesce(); err != nil {
+		t.Fatalf("quiesce after return: %v", err)
+	}
+	n := node
+	n.mu.Lock()
+	_, resident := n.instances["tenant-0/db"]
+	n.mu.Unlock()
+	if !resident {
+		t.Error("returning tenant-0 was not rebuilt")
+	}
+
+	if err := telemetry.ValidateExposition(telemetry.Default().Exposition()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
 }
 
 // TestOperatorRoutes pins the review-gate wiring: resolving a kind with

@@ -75,6 +75,17 @@ type Config struct {
 	// expert entries). Mined installs land here, so pass the same DB
 	// that -learned persistence renders.
 	SymDB *symptoms.DB
+	// IdleBatches is the idle horizon of the instance lifecycle: an
+	// instance untouched by this many subsequently-applied ingest
+	// batches (and with no gated detections) is evicted — its serving
+	// environment, metric store, and monitor baselines page out, and a
+	// returning tenant rebuilds from scratch on next contact. The
+	// horizon is counted in applied batches, not wall time, so eviction
+	// is a deterministic function of the ingest stream. 0 disables
+	// eviction (the pre-lifecycle behavior: instances accrete forever,
+	// which under tenant churn is a leak). Registry incidents survive
+	// eviction; only ingest state pages out.
+	IdleBatches int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +119,9 @@ type instance struct {
 	// watermark is the instance's ingest watermark: every sample with
 	// T <= watermark has been posted.
 	watermark simtime.Time
+	// lastSeq is the intake sequence of the last batch that touched the
+	// instance — the idle-eviction clock.
+	lastSeq int64
 	// plans caches the reconstructed plan per query.
 	plans map[string]*plan.Plan
 }
@@ -138,6 +152,9 @@ type Node struct {
 	instances map[string]*instance
 
 	intake chan intakeJob
+	// batchSeq counts applied ingest batches; worker-owned, the
+	// evidence-free clock idle eviction runs on.
+	batchSeq int64
 	// sendMu serializes intake enqueues against Shutdown's close, the
 	// service pool's send-vs-close pattern: handlers send under the read
 	// lock, Shutdown flips draining before taking the write lock to
@@ -160,6 +177,7 @@ type nodeTelemetry struct {
 	rejected map[string]*telemetry.Counter
 	applyErr *telemetry.Counter
 	released *telemetry.Counter
+	evicted  *telemetry.Counter
 }
 
 func newNodeTelemetry(n *Node) nodeTelemetry {
@@ -172,6 +190,9 @@ func newNodeTelemetry(n *Node) nodeTelemetry {
 	reg.GaugeFunc("diads_api_ingest_queue_depth",
 		"Ingest batches waiting in the intake queue.",
 		nil, func() float64 { return float64(len(n.intake)) })
+	reg.GaugeFunc("diads_api_instances_resident",
+		"Tenant instances currently resident (serving state built, not evicted).",
+		nil, func() float64 { return float64(n.InstanceCount()) })
 	return nodeTelemetry{
 		reg: reg,
 		batches: reg.Counter("diads_api_ingest_batches_total",
@@ -184,6 +205,8 @@ func newNodeTelemetry(n *Node) nodeTelemetry {
 			"Ingest batch items the intake worker could not apply.", nil),
 		released: reg.Counter("diads_api_events_released_total",
 			"Gated slowdown events released to the diagnosis pool by watermark advances.", nil),
+		evicted: reg.Counter("diads_api_instances_evicted_total",
+			"Tenant instances paged out by the idle-eviction lifecycle.", nil),
 	}
 }
 
@@ -319,13 +342,62 @@ func (n *Node) worker() {
 		case j.done != nil:
 			close(j.done)
 		case j.samples != nil:
+			n.batchSeq++
 			n.applySamples(j.samples, j.traceID)
+			n.sweepIdle()
 		case j.runs != nil:
+			n.batchSeq++
 			n.applyRuns(j.runs, j.traceID)
+			n.sweepIdle()
 		case j.events != nil:
+			n.batchSeq++
 			n.applyEvents(j.events, j.traceID)
+			n.sweepIdle()
 		}
 	}
+}
+
+// sweepIdle evicts instances the idle horizon has passed: untouched for
+// IdleBatches applied batches and holding no gated detections. It runs
+// on the intake worker after every applied batch, so eviction order and
+// timing are a deterministic function of the ingest stream. The pool is
+// settled first (Wait) so no queued diagnosis loses its environment
+// mid-flight; eviction then removes the serving env and the instance's
+// scoped cache entries from the shared service and drops the serving
+// state for the garbage collector.
+func (n *Node) sweepIdle() {
+	h := int64(n.cfg.IdleBatches)
+	if h <= 0 {
+		return
+	}
+	var victims []*instance
+	n.mu.Lock()
+	for _, in := range n.instances {
+		if n.batchSeq-in.lastSeq >= h && in.gate.Pending() == 0 {
+			victims = append(victims, in)
+		}
+	}
+	n.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	n.svc.Wait()
+	for _, in := range victims {
+		n.svc.RemoveInstance(in.id)
+		n.mu.Lock()
+		delete(n.instances, in.id)
+		n.mu.Unlock()
+		n.tel.evicted.Inc()
+	}
+}
+
+// InstanceCount reports the resident tenant instances — the bound the
+// idle lifecycle maintains under churn.
+func (n *Node) InstanceCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.instances)
 }
 
 // instanceFor returns (building on first contact) the serving state for
@@ -337,6 +409,9 @@ func (n *Node) instanceFor(tenant, inst string, build bool) (*instance, error) {
 	in := n.instances[id]
 	n.mu.Unlock()
 	if in != nil || !build {
+		if in != nil && build {
+			in.lastSeq = n.batchSeq // intake worker touching the instance
+		}
 		return in, nil
 	}
 	tb, err := testbed.NewFigure1(testbed.DefaultConfig(n.cfg.Seed))
@@ -344,11 +419,12 @@ func (n *Node) instanceFor(tenant, inst string, build bool) (*instance, error) {
 		return nil, fmt.Errorf("api: building environment for %s: %w", id, err)
 	}
 	in = &instance{
-		id:    id,
-		tb:    tb,
-		mon:   monitor.New(n.cfg.Monitor),
-		gate:  &monitor.Gate{},
-		plans: make(map[string]*plan.Plan),
+		id:      id,
+		tb:      tb,
+		mon:     monitor.New(n.cfg.Monitor),
+		gate:    &monitor.Gate{},
+		lastSeq: n.batchSeq,
+		plans:   make(map[string]*plan.Plan),
 	}
 	// Detections gate on the ingest watermark; the sink tags the event
 	// with the scoped instance so dedup, incidents, and learning stay

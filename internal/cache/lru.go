@@ -102,6 +102,26 @@ func (c *LRU[K, V]) Purge() {
 	clear(c.items)
 }
 
+// RemoveIf drops every entry whose key satisfies the predicate and
+// returns how many were removed. Removals are not counted as evictions:
+// they are lifecycle cleanup (an instance paging out releases its scoped
+// entries), not capacity pressure.
+func (c *LRU[K, V]) RemoveIf(pred func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry[K, V]); pred(e.key) {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
 	Hits, Misses, Evictions int64

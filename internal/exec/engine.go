@@ -113,6 +113,19 @@ type RunRecord struct {
 // Duration returns the total run time t(P).
 func (r *RunRecord) Duration() simtime.Duration { return r.Stop.Sub(r.Start) }
 
+// Window returns the run's execution interval [Start, Stop).
+func (r *RunRecord) Window() simtime.Interval { return simtime.NewInterval(r.Start, r.Stop) }
+
+// EndsBefore reports whether the run completed strictly before the
+// evidence horizon. This is the retention predicate for run histories:
+// a record that ends before the low watermark can never appear in a
+// future slowdown event's snapshot (event windows start at remembered
+// runs, all of which begin at or after the unpadded watermark), so it
+// may be dropped. Consumers holding their own pointers — the monitor's
+// history ring, already-minted events — are unaffected by a holder
+// trimming its slice.
+func (r *RunRecord) EndsBefore(horizon simtime.Time) bool { return r.Stop < horizon }
+
 // Op returns the OpRun for the given operator ID.
 func (r *RunRecord) Op(id int) *OpRun { return r.Ops[id] }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"diads/internal/fleet"
+	"diads/internal/monitor"
 	"diads/internal/service"
 	"diads/internal/simtime"
 	"diads/internal/symptoms"
@@ -139,6 +140,19 @@ type FleetSpec struct {
 	// service so the dogfood loop can watch the run's own diagnosis
 	// latency.
 	SelfObserver service.SelfObserver
+	// Retention turns on barrier-time evidence truncation and the
+	// hibernate/rehydrate instance lifecycle; ResidentCap bounds each
+	// shard's resident instances (0 = unlimited). Like the concurrency
+	// knobs, neither may change results — the retention-parity sweep
+	// pins reports byte-identical against a retention-off twin.
+	Retention   bool
+	ResidentCap int
+	// Monitor tunes each instance's detector (zero value = defaults);
+	// StoreSegment overrides each instance store's segment granularity
+	// (0 = default). The retention sweep uses both to make truncation
+	// fire within test-scale timelines.
+	Monitor      monitor.Config
+	StoreSegment int
 }
 
 // RunFleetSpec builds the instances from the shared online-scenario
@@ -149,10 +163,12 @@ func RunFleetSpec(spec FleetSpec) (*fleet.Report, []simtime.Time, error) {
 	onsets := make([]simtime.Time, 0, spec.Instances)
 	for i := 0; i < spec.Instances; i++ {
 		env, err := BuildOnline(OnlineSpec{
-			Seed:    spec.Seed + int64(i)*fleetSeedStride,
-			Runs:    spec.Runs,
-			Offset:  simtime.Duration(i) * fleetStagger,
-			NoFault: i >= spec.Degraded,
+			Seed:         spec.Seed + int64(i)*fleetSeedStride,
+			Runs:         spec.Runs,
+			Offset:       simtime.Duration(i) * fleetStagger,
+			NoFault:      i >= spec.Degraded,
+			Monitor:      spec.Monitor,
+			StoreSegment: spec.StoreSegment,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -191,6 +207,8 @@ func RunFleetSpec(spec FleetSpec) (*fleet.Report, []simtime.Time, error) {
 		Service:        service.Config{Workers: spec.Workers},
 		Learn:          learn,
 		SelfObserver:   spec.SelfObserver,
+		Retention:      spec.Retention,
+		ResidentCap:    spec.ResidentCap,
 	}, insts)
 	if err != nil {
 		return nil, nil, err

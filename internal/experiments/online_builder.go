@@ -32,6 +32,11 @@ type OnlineSpec struct {
 	NoFault bool
 	// Monitor tunes online detection (zero value = defaults).
 	Monitor monitor.Config
+	// StoreSegment overrides the metric store's segment granularity
+	// (0 = the store default). Retention sweeps shrink it so truncation
+	// fires within test-scale timelines; segmentation never affects
+	// values.
+	StoreSegment int
 }
 
 // OnlineEnv is one assembled online-scenario instance: the testbed with
@@ -58,6 +63,9 @@ func BuildOnline(spec OnlineSpec) (*OnlineEnv, error) {
 	tb, err := testbed.NewFigure1(testbed.DefaultConfig(spec.Seed))
 	if err != nil {
 		return nil, err
+	}
+	if spec.StoreSegment > 0 {
+		tb.Store.SetSegmentSize(spec.StoreSegment)
 	}
 	start := simtime.Time(10 * simtime.Minute).Add(spec.Offset)
 	horizon := start.Add(simtime.Duration(runs) * 30 * simtime.Minute)

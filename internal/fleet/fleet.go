@@ -101,6 +101,24 @@ type Config struct {
 	// (telemetry/selfmon) plugs into so the fleet's diagnoser watches its
 	// own latency.
 	SelfObserver service.SelfObserver
+	// Retention bounds per-instance memory. At each chunk barrier —
+	// after the shard's diagnoses have settled and before its instances
+	// resume — the coordinator truncates every instance's metric store,
+	// SAN timelines, and run history to the instance's evidence low
+	// watermark: the oldest time any future diagnosis can still read
+	// (monitor history, gated events, buffered epoch events, each padded
+	// through the one evidence-window contract). Reports are
+	// byte-identical with retention on or off; only memory changes.
+	Retention bool
+	// ResidentCap bounds each shard's resident (non-hibernated)
+	// instances when Retention is on (0 = unlimited). Past the cap,
+	// instances with no gated or buffered events hibernate: their
+	// service environment and instance-scoped cache entries page out,
+	// and they rehydrate automatically — before any Submit — when a
+	// later barrier releases an event of theirs. Cached artifacts are
+	// pure functions of instance state, so the page-out/page-in cycle
+	// costs recomputation only, never a result.
+	ResidentCap int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -144,8 +162,9 @@ func (c Config) withDefaults(n int) Config {
 const apgCacheCap = 4096
 
 // instanceState is the fleet's per-instance bookkeeping. The shard
-// coordinator owns events/detected/firstDetection (written only between
-// barriers); transfers is written by service workers, hence atomic.
+// coordinator owns events/detected/firstDetection/hibernated (written
+// only between barriers); transfers is written by service workers,
+// hence atomic.
 type instanceState struct {
 	Instance
 	gate           *monitor.Gate
@@ -153,6 +172,7 @@ type instanceState struct {
 	events         int
 	detected       bool
 	firstDetection simtime.Time
+	hibernated     bool
 	transfers      atomic.Int64
 }
 
@@ -240,6 +260,7 @@ func New(cfg Config, instances []Instance) (*Fleet, error) {
 		if sharded {
 			svcCfg.ShardLabel = strconv.Itoa(sh.id)
 		}
+		sh.resident.Store(int64(len(g)))
 		sh.svc = service.New(f.envOf(g[0]), svcCfg)
 		for _, st := range g {
 			sh.svc.AddInstance(st.ID, f.envOf(st))
@@ -285,6 +306,15 @@ func (f *Fleet) registerTelemetryFuncs() {
 	reg.GaugeFunc("diads_fleet_healthy_corpus_size",
 		"Healthy-period fact bases available to the validator.",
 		nil, learnVal(func(l *learner) float64 { return float64(l.validator.HealthyCount()) }))
+	reg.GaugeFunc("diads_fleet_resident_instances",
+		"Instances currently resident (service env registered, not hibernated).",
+		nil, func() float64 {
+			var n int64
+			for _, sh := range f.shards {
+				n += sh.resident.Load()
+			}
+			return float64(n)
+		})
 }
 
 // envOf assembles an instance's diagnosis environment around the

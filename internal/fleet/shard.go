@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diads/internal/diag"
@@ -55,6 +56,10 @@ type shard struct {
 	// declaredThrough is the highest epoch this shard has declared to
 	// the exchange.
 	declaredThrough int64
+	// resident counts the shard's non-hibernated instances. The
+	// coordinator owns the hibernated flags; the counter is atomic only
+	// so the fleet-level telemetry gauge can read it at scrape time.
+	resident atomic.Int64
 
 	waves    *telemetry.Counter
 	released *telemetry.Counter
@@ -185,6 +190,12 @@ func (sh *shard) run(ctx context.Context, sem chan struct{}) {
 			}
 			if err := sh.advance(ctx, frontier); err != nil {
 				sh.f.fail(err)
+			} else if sh.f.cfg.Retention {
+				// Every shard instance is parked or finished and every
+				// submitted diagnosis has settled (per-wave Wait), so
+				// this is the one point where truncating evidence and
+				// paging instances out cannot race a reader.
+				sh.retain()
 			}
 		}
 		for i, st := range sh.instances {
@@ -195,6 +206,79 @@ func (sh *shard) run(ctx context.Context, sem chan struct{}) {
 		}
 	}
 	wg.Wait()
+}
+
+// retain runs the retention pass at a barrier: every instance's
+// evidence is truncated to its low watermark, and — past the resident
+// cap — idle instances hibernate out of the shard's service.
+//
+// The low watermark is the oldest evidence time any FUTURE diagnosis of
+// the instance can read, the minimum of three terms:
+//
+//   - Monitor.LowWatermark — events not yet minted snapshot the history
+//     ring, so their read windows start no earlier than the padded
+//     Start of the oldest remembered run;
+//   - Gate.LowWatermark — events minted but still gated carry their
+//     full ReadWindow as future evidence;
+//   - the earliest ReadWindow.Start among the shard's buffered events
+//     for the instance — released, but parked until their learning
+//     epoch completes.
+//
+// An instance with no monitor history yet is skipped outright: a run in
+// progress will enter the ring with a Start in the past, so no horizon
+// is safe before the first observation. Because every diagnosis reads
+// only inside its event's ReadWindow and run snapshots are carried in
+// the events themselves, truncating to this watermark cannot change any
+// result — the retention-parity sweep pins reports byte-identical with
+// retention on and off.
+func (sh *shard) retain() {
+	// Earliest buffered evidence per instance, one pass over the buffer.
+	buffered := make(map[string]simtime.Time, len(sh.instances))
+	for _, ev := range sh.buffered {
+		if t, ok := buffered[ev.Instance]; !ok || ev.ReadWindow.Start < t {
+			buffered[ev.Instance] = ev.ReadWindow.Start
+		}
+	}
+	for _, st := range sh.instances {
+		lw, ok := st.Monitor.LowWatermark()
+		if !ok {
+			continue
+		}
+		if g, pending := st.gate.LowWatermark(); pending && g < lw {
+			lw = g
+		}
+		if b, ok := buffered[st.ID]; ok && b < lw {
+			lw = b
+		}
+		st.Testbed.Retain(lw)
+	}
+	if cap := sh.f.cfg.ResidentCap; cap > 0 {
+		sh.hibernate(cap, buffered)
+	}
+}
+
+// hibernate pages idle instances out of the shard's service until the
+// resident count is back under the cap, in fleet construction order —
+// a deterministic order over deterministic eligibility, so the
+// hibernation schedule (like everything else at a barrier) is a
+// function of the event stream alone. Eligible instances have no gated
+// and no buffered events: nothing of theirs can be submitted before a
+// future barrier, and that barrier's wave rehydrates them first.
+func (sh *shard) hibernate(cap int, buffered map[string]simtime.Time) {
+	for _, st := range sh.instances {
+		if int(sh.resident.Load()) <= cap {
+			return
+		}
+		if st.hibernated || st.gate.Pending() > 0 {
+			continue
+		}
+		if _, ok := buffered[st.ID]; ok {
+			continue
+		}
+		sh.svc.RemoveInstance(st.ID)
+		st.hibernated = true
+		sh.resident.Add(-1)
+	}
 }
 
 // collect moves an instance's detected slowdowns into its gate (tagging
@@ -292,6 +376,16 @@ func (sh *shard) submitWaves(ctx context.Context, released []monitor.SlowdownEve
 		}
 		return released[i].RunID < released[j].RunID
 	})
+	// Rehydrate hibernated instances before anything is submitted: the
+	// environment is a cheap pure view over the testbed, and purged
+	// cache entries recompute to identical values on demand.
+	for _, ev := range released {
+		if st := sh.f.byID[ev.Instance]; st != nil && st.hibernated {
+			sh.svc.AddInstance(st.ID, sh.f.envOf(st))
+			st.hibernated = false
+			sh.resident.Add(1)
+		}
+	}
 	for i := 0; i < len(released); {
 		j := i
 		for j < len(released) && released[j].ReadWindow.End == released[i].ReadWindow.End {

@@ -175,6 +175,13 @@ func TestReadWindowFixture(t *testing.T) {
 	runFixture(t, "readwindow")
 }
 
+func TestHorizonFixture(t *testing.T) {
+	res := runFixture(t, "horizon")
+	if c := res.Counts["horizon"]; c.Suppressed != 1 {
+		t.Errorf("horizon suppressed = %d, want 1 (the annotated non-horizon derivation)", c.Suppressed)
+	}
+}
+
 func TestMetricNameFixture(t *testing.T) {
 	runFixture(t, "metricname")
 }

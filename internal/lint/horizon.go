@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HorizonAnalyzer flags retention/truncation arithmetic outside
+// internal/metrics. The retention contract (DESIGN.md, "Memory model &
+// retention") is that truncation horizons are *derived* exactly once —
+// Monitor.LowWatermark and Gate.LowWatermark pad through
+// metrics.ReadWindow — and then flow to Truncate/Retain verbatim: the
+// callers may take minima across watermark sources but never adjust a
+// horizon arithmetically, because a horizon nudged past the low
+// watermark silently deletes evidence a future diagnosis will read,
+// and one nudged the other way leaks the memory the layer exists to
+// bound. Mirroring readwindow, the rule flags:
+//
+//   - a call to a module Truncate or Retain method whose horizon
+//     argument is computed with simtime arithmetic at the call site (a
+//     hand-adjusted horizon), and
+//   - +, -, or * arithmetic (including simtime.Time.Add) on a variable
+//     bound from a LowWatermark() result.
+//
+// internal/metrics is the implementor — prefix-sum anchoring and the
+// ReadWindow padding live there — and is exempted in policy.go. A site
+// that legitimately derives a non-horizon quantity from a watermark
+// annotates with //lint:allow horizon <reason>.
+var HorizonAnalyzer = &Analyzer{
+	Name:    "horizon",
+	Doc:     "retention/truncation horizon arithmetic outside internal/metrics",
+	Domains: []Domain{DomainDeterminism, DomainService, DomainTool},
+	Run:     runHorizon,
+}
+
+func runHorizon(pass *Pass) {
+	modulePath := pass.Config.modulePath()
+	simtimePath := modulePath + "/internal/simtime"
+
+	isSimTime := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == simtimePath && obj.Name() == "Time"
+	}
+	// moduleMethod resolves a selector call to its method object and
+	// reports whether the method is defined under this module — horizon
+	// polices the repo's own retention surfaces, not stdlib lookalikes
+	// (time.Time.Truncate, for one).
+	moduleMethod := func(sel *ast.SelectorExpr) bool {
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		return obj.Pkg().Path() == modulePath ||
+			strings.HasPrefix(obj.Pkg().Path(), modulePath+"/")
+	}
+	// containsTimeArith reports whether e computes simulated time: a ±
+	// binary with a simtime.Time operand, or simtime.Time.Add.
+	containsTimeArith := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.ADD || n.Op == token.SUB) &&
+					(isSimTime(n.X) || isSimTime(n.Y)) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Add" && isSimTime(sel.X) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		// Pass 1: collect the objects bound from LowWatermark() calls.
+		// Watermarks are compared (minima) and passed on — arithmetic on
+		// one is the drift this rule exists to catch.
+		watermarks := make(map[types.Object]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "LowWatermark" || !moduleMethod(sel) {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					watermarks[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					watermarks[obj] = true
+				}
+			}
+			return true
+		})
+		isWatermark := func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			return ok && watermarks[pass.Info.Uses[id]]
+		}
+
+		// Pass 2: report computed horizons and watermark arithmetic.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL:
+				default:
+					return true
+				}
+				if isWatermark(n.X) || isWatermark(n.Y) {
+					pass.Reportf(n.Pos(),
+						"arithmetic on a LowWatermark value: retention horizons pass verbatim; evidence padding lives in metrics.ReadWindow")
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || len(n.Args) != 1 {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Truncate", "Retain":
+					if moduleMethod(sel) && containsTimeArith(n.Args[0]) {
+						pass.Reportf(n.Args[0].Pos(),
+							"computed truncation horizon passed to %s: horizons come from LowWatermark sources outside internal/metrics, passed verbatim", sel.Sel.Name)
+					}
+				case "Add":
+					if isSimTime(sel.X) && isWatermark(sel.X) {
+						pass.Reportf(n.Pos(),
+							"arithmetic on a LowWatermark value: retention horizons pass verbatim; evidence padding lives in metrics.ReadWindow")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -34,8 +34,8 @@ import (
 // Finding is one analyzer hit, serializable for CI consumption.
 type Finding struct {
 	// Analyzer is the rule that fired (mapiter, walltime, readwindow,
-	// metricname, errdiscard, or "directive" for malformed //lint:allow
-	// comments, which cannot themselves be suppressed).
+	// horizon, metricname, errdiscard, or "directive" for malformed
+	// //lint:allow comments, which cannot themselves be suppressed).
 	Analyzer string `json:"analyzer"`
 	// Package is the import path of the package containing the site.
 	Package string `json:"package"`
@@ -138,6 +138,7 @@ func Analyzers() []*Analyzer {
 		MapIterAnalyzer,
 		WallTimeAnalyzer,
 		ReadWindowAnalyzer,
+		HorizonAnalyzer,
 		MetricNameAnalyzer,
 		ErrDiscardAnalyzer,
 	}

@@ -46,8 +46,11 @@ var policyTable = []policyRule{
 	// Contract implementors: simtime *is* the deterministic clock/RNG
 	// (it wraps math/rand behind seeded streams), metrics *is* the home
 	// of the ReadWindow padding arithmetic.
+	// Metrics also implements the retention horizon (truncation anchors
+	// prefix sums; ReadWindow is the one padding site), so horizon is
+	// off there too.
 	{Path: "diads/internal/simtime", Domain: DomainDeterminism, Exempt: []string{"walltime"}},
-	{Path: "diads/internal/metrics", Domain: DomainDeterminism, Exempt: []string{"readwindow"}},
+	{Path: "diads/internal/metrics", Domain: DomainDeterminism, Exempt: []string{"readwindow", "horizon"}},
 
 	// Serving and observability layers: wall-clock timing is a feature
 	// (queue waits, span durations, uptime), not a determinism leak —

@@ -1,0 +1,68 @@
+// Package horizonfix is the horizon analyzer fixture.
+package horizonfix
+
+import (
+	"diads/internal/metrics"
+	"diads/internal/simtime"
+)
+
+// mon mimics a watermark source: the analyzer resolves LowWatermark
+// calls by method name on module types, so a fixture-local source
+// exercises the same path as monitor.Monitor or monitor.Gate.
+type mon struct{}
+
+func (mon) LowWatermark() (simtime.Time, bool) { return 0, false }
+
+// handAdjusted nudges the horizon at the call site — the drift that
+// silently deletes evidence a future diagnosis reads.
+func handAdjusted(s *metrics.Store, lw simtime.Time) {
+	s.Truncate(lw - 60) // want horizon
+}
+
+// addAdjusted writes the same drift through Time.Add.
+func addAdjusted(s *metrics.Store, lw simtime.Time) {
+	s.Truncate(lw.Add(-2 * simtime.Minute)) // want horizon
+}
+
+// watermarkArith adjusts a bound watermark before passing it on.
+func watermarkArith(s *metrics.Store, m mon) {
+	lw, ok := m.LowWatermark()
+	if !ok {
+		return
+	}
+	adjusted := lw - 60 // want horizon
+	s.Truncate(adjusted)
+}
+
+// watermarkAdd pads a watermark through Add.
+func watermarkAdd(m mon) simtime.Time {
+	lw, _ := m.LowWatermark()
+	return lw.Add(2 * simtime.Minute) // want horizon
+}
+
+// verbatim is the sanctioned shape: minima across watermark sources,
+// the result passed untouched.
+func verbatim(s *metrics.Store, m, g mon) {
+	lw, ok := m.LowWatermark()
+	if !ok {
+		return
+	}
+	if b, pending := g.LowWatermark(); pending && b < lw {
+		lw = b
+	}
+	s.Truncate(lw)
+}
+
+// annotated derives a non-horizon quantity from a watermark and says
+// why — the suppression the fixture test counts.
+func annotated(m mon) simtime.Time {
+	lw, _ := m.LowWatermark()
+	//lint:allow horizon derives a display span, not a truncation horizon
+	return lw + 60
+}
+
+// unrelatedArithmetic on simulated time not bound from a watermark is
+// readwindow's business, not horizon's.
+func unrelatedArithmetic(t simtime.Time) simtime.Time {
+	return t + 60
+}

@@ -234,6 +234,40 @@ func (m *Monitor) Stats() Stats {
 	return st
 }
 
+// LowWatermark returns the oldest evidence time a FUTURE event from this
+// monitor can reference, and whether any history is remembered at all.
+// Every event snapshots the per-query history ring, and its ReadWindow
+// starts at the earliest remembered run padded by the evidence-window
+// contract — so the padded Start of the oldest remembered run across all
+// queries bounds, from below, every read window the monitor can still
+// mint. Metric samples and run records older than this can never be read
+// by a diagnosis that has not already been released; retention layers
+// truncate against it (combined with Gate.LowWatermark for events
+// already minted but not yet diagnosed).
+func (m *Monitor) LowWatermark() (simtime.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest simtime.Time
+	found := false
+	//lint:allow mapiter min over the per-query oldest runs is commutative
+	for _, st := range m.states {
+		if len(st.hist) == 0 {
+			continue
+		}
+		start := st.hist[0].rec.Start
+		if !found || start < oldest {
+			oldest, found = start, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Pad through the one evidence-window contract, never hand-derived:
+	// a future event whose Window starts at `oldest` reads
+	// metrics.ReadWindow of that window.
+	return metrics.ReadWindow(simtime.NewInterval(oldest, oldest)).Start, true
+}
+
 // Observe ingests one completed run: O(1) baseline update plus, when the
 // run (or the accumulated drift) degrades past the thresholds, one event.
 // It is the callback to hang on exec.Engine.OnRunComplete.
@@ -356,6 +390,23 @@ func (g *Gate) Release(watermark simtime.Time) []SlowdownEvent {
 	}
 	g.pending = kept
 	return ready
+}
+
+// LowWatermark returns the earliest ReadWindow start among deferred
+// events, and whether any events are pending. Events in the gate have
+// been minted but not yet diagnosed: their whole read windows are still
+// future evidence, so retention must not truncate below the minimum.
+func (g *Gate) LowWatermark() (simtime.Time, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var oldest simtime.Time
+	found := false
+	for _, ev := range g.pending {
+		if !found || ev.ReadWindow.Start < oldest {
+			oldest, found = ev.ReadWindow.Start, true
+		}
+	}
+	return oldest, found
 }
 
 // Pending returns the number of deferred events.

@@ -102,6 +102,21 @@ func (m *Model) FailDisk(disk topology.ID, iv simtime.Interval, source string) {
 	m.outage.Add(diskKey(disk), iv, 1, source)
 }
 
+// Truncate drops load, utilization, and outage segments that end at or
+// before the horizon, returning how many were dropped. Queries at or
+// after the horizon — instantaneous or window means — are bit-identical
+// afterwards (see Timeline.Truncate); callers must therefore never emit
+// or diagnose below the horizon again, which the evidence low-watermark
+// contract guarantees.
+func (m *Model) Truncate(before simtime.Time) int {
+	n := m.reads.Truncate(before)
+	n += m.writes.Truncate(before)
+	n += m.seqReads.Truncate(before)
+	n += m.diskUtil.Truncate(before)
+	n += m.outage.Truncate(before)
+	return n
+}
+
 // diskActive reports whether the disk is in service at t.
 func (m *Model) diskActive(disk topology.ID, t simtime.Time) bool {
 	return m.outage.At(diskKey(disk), t) == 0

@@ -75,6 +75,39 @@ func (tl *Timeline) MeanOver(key string, iv simtime.Interval) float64 {
 	return weighted / float64(iv.Length())
 }
 
+// Truncate drops segments whose intervals end at or before the horizon
+// and returns how many were dropped. Reads at or above the horizon are
+// bit-identical afterwards: intervals are half-open, so a dropped
+// segment neither Contains any t >= before nor Overlaps any interval
+// starting there — its contribution to every surviving accumulation was
+// exactly zero. Keys left without segments are removed.
+func (tl *Timeline) Truncate(before simtime.Time) int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	n := 0
+	//lint:allow mapiter kept is loop-local and every map write/delete is keyed by the loop key
+	for k, segs := range tl.segs {
+		kept := segs[:0]
+		for _, s := range segs {
+			if s.Iv.End > before {
+				kept = append(kept, s)
+			}
+		}
+		n += len(segs) - len(kept)
+		if len(kept) == 0 {
+			delete(tl.segs, k)
+			continue
+		}
+		// Reallocate when truncation freed a meaningful fraction, so the
+		// dropped tail's backing array does not stay pinned.
+		if cap(segs) > 2*len(kept) {
+			kept = append(make([]Segment, 0, len(kept)), kept...)
+		}
+		tl.segs[k] = kept
+	}
+	return n
+}
+
 // SourcesAt returns the distinct sources contributing to key at t, sorted.
 func (tl *Timeline) SourcesAt(key string, t simtime.Time) []string {
 	tl.mu.RLock()

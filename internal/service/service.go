@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -357,6 +358,29 @@ func (s *Service) AddInstance(id string, env Env) {
 		s.envs = make(map[string]Env)
 	}
 	s.envs[id] = env
+}
+
+// RemoveInstance unregisters a per-instance environment and purges the
+// instance's scoped entries from the shared APG/SD/result caches — the
+// dehydrate half of the instance lifecycle (fleet hibernation, HTTP
+// tenant idle-out). Safe to call while the service is running, but the
+// caller must guarantee no job for the instance is queued or in flight
+// (the fleet removes only parked instances with empty gates; the API's
+// single intake worker removes only idle instances), or subsequent
+// diagnoses fail with an unknown environment. Removal changes memory
+// only: cached artifacts are pure functions of instance state, so a
+// later re-registration recomputes identical values.
+func (s *Service) RemoveInstance(id string) {
+	if id == "" {
+		return
+	}
+	s.envmu.Lock()
+	delete(s.envs, id)
+	s.envmu.Unlock()
+	prefix := id + "|" // diag cache keys are CacheScope + "|" + artifact identity
+	s.apgs.RemoveIf(func(k string) bool { return strings.HasPrefix(k, prefix) })
+	s.sd.RemoveIf(func(k string) bool { return strings.HasPrefix(k, prefix) })
+	s.results.RemoveIf(func(k jobKey) bool { return k.instance == id })
 }
 
 // HasInstance reports whether a per-instance environment is registered.

@@ -206,10 +206,10 @@ func (tb *Testbed) monitorGrid(t simtime.Time) simtime.Time {
 // (external load or run) plus a margin.
 func (tb *Testbed) activityEnd(loadEnd simtime.Time) simtime.Time {
 	end := loadEnd
-	for _, r := range tb.Runs {
-		if r.Stop > end {
-			end = r.Stop
-		}
+	// lastActivity, not a Runs scan: Retain may have trimmed records
+	// whose Stop once defined the horizon end.
+	if tb.lastActivity > end {
+		end = tb.lastActivity
 	}
 	return end.Add(horizonMargin)
 }
@@ -227,6 +227,9 @@ func (tb *Testbed) runQuery(query string, t simtime.Time, seq *int) error {
 		return err
 	}
 	tb.Runs = append(tb.Runs, rec)
+	if rec.Stop > tb.lastActivity {
+		tb.lastActivity = rec.Stop
+	}
 	// The run occupies the server CPU while it executes.
 	tb.CPULoad.Add("cpu", simtime.NewInterval(rec.Start, rec.Stop), cpuPerRun, runID)
 	// Its activity rates become the database-level monitoring series.

@@ -99,7 +99,42 @@ type Testbed struct {
 	// SimulateStream.
 	dbAct *sanperf.Timeline
 
+	// lastActivity caches the latest run Stop so the monitoring-horizon
+	// end survives Retain trimming the Runs slice.
+	lastActivity simtime.Time
+
 	simulated bool
+}
+
+// Retain drops evidence strictly below the horizon across the testbed's
+// unbounded state: the metric store (whole segments), the SAN model's
+// load/utilization/outage segments, the CPU and database-activity
+// timelines, and run records that ended before the horizon. Every
+// surviving read — window aggregates, instantaneous model queries,
+// future metric emission — is bit-identical afterwards, so retention is
+// invisible to diagnosis as long as the horizon is the evidence low
+// watermark (monitor warm-up, open-event read windows; see
+// monitor.Monitor.LowWatermark). Callers must not read below the
+// horizon again: streaming drivers call Retain between chunks with
+// horizons at or below the emission watermark.
+func (tb *Testbed) Retain(horizon simtime.Time) {
+	tb.Store.Truncate(horizon)
+	tb.SAN.Truncate(horizon)
+	tb.CPULoad.Truncate(horizon)
+	tb.dbAct.Truncate(horizon)
+	kept := tb.Runs[:0]
+	for _, r := range tb.Runs {
+		if !r.EndsBefore(horizon) {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(tb.Runs); i++ {
+		tb.Runs[i] = nil
+	}
+	if cap(tb.Runs) > 2*len(kept) {
+		kept = append(make([]*exec.RunRecord, 0, len(kept)), kept...)
+	}
+	tb.Runs = kept
 }
 
 // NewFigure1 builds the paper's Figure 1 environment: the DB server plus
